@@ -1,0 +1,107 @@
+// E2: Search cost vs universe size and vs concurrent update load.
+// Paper claim: Search is O(1) worst case — a constant number of reads
+// regardless of u, set size, or concurrent updates (contrast: skip list
+// O(log n), Harris list O(n)).
+#include <chrono>
+
+#include "baselines/harris_set.hpp"
+#include "baselines/lf_skiplist.hpp"
+#include "bench_util.hpp"
+#include "core/lockfree_trie.hpp"
+
+namespace lfbt {
+namespace {
+
+template <class Set>
+double search_ns_per_op(Set& set, Key universe, uint64_t ops) {
+  Xoshiro256 rng(5);
+  auto t0 = std::chrono::steady_clock::now();
+  uint64_t sink = 0;
+  for (uint64_t i = 0; i < ops; ++i) {
+    sink += set.contains(static_cast<Key>(rng.bounded(static_cast<uint64_t>(universe))));
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  if (sink == ~0ull) std::printf("x");
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() / double(ops);
+}
+
+template <class Set>
+void fill(Set& set, Key universe, uint64_t n, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  for (uint64_t i = 0; i < n; ++i) {
+    set.insert(static_cast<Key>(rng.bounded(static_cast<uint64_t>(universe))));
+  }
+}
+
+void vs_universe() {
+  bench::row("| u      | trie ns/search | skiplist ns/search | harris ns/search |");
+  bench::row("|--------|----------------|--------------------|------------------|");
+  const uint64_t ops = bench::scaled(2000000);
+  for (int lg : {10, 14, 18, 22}) {
+    const Key u = Key{1} << lg;
+    const uint64_t n = std::min<uint64_t>(static_cast<uint64_t>(u) / 2, 1u << 15);
+    LockFreeBinaryTrie trie(u);
+    fill(trie, u, n, 9);
+    LockFreeSkipList sl(u);
+    fill(sl, u, n, 9);
+    double harris_ns = -1;
+    if (lg <= 14) {  // O(n) searches; larger sizes take too long
+      HarrisSet hs(u);
+      fill(hs, u, n, 9);
+      harris_ns = search_ns_per_op(hs, u, ops / 100);
+    }
+    bench::row(bench::fmt("| 2^%-4d | %14.1f | %18.1f | %16.1f |", lg,
+                          search_ns_per_op(trie, u, ops),
+                          search_ns_per_op(sl, u, ops), harris_ns));
+  }
+}
+
+void vs_update_load() {
+  bench::row("");
+  bench::row("| updater threads | trie ns/search | skiplist ns/search |");
+  bench::row("|-----------------|----------------|--------------------|");
+  const Key u = Key{1} << 16;
+  for (int updaters : {0, 1, 2, 4}) {
+    LockFreeBinaryTrie trie(u);
+    LockFreeSkipList sl(u);
+    fill(trie, u, 1 << 14, 11);
+    fill(sl, u, 1 << 14, 11);
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> storm;
+    auto churn = [&stop, u](auto* set, int id) {
+      Xoshiro256 rng(100 + static_cast<uint64_t>(id));
+      while (!stop.load()) {
+        Key k = static_cast<Key>(rng.bounded(static_cast<uint64_t>(u)));
+        if (rng.bounded(2)) {
+          set->insert(k);
+        } else {
+          set->erase(k);
+        }
+      }
+    };
+    for (int i = 0; i < updaters; ++i) storm.emplace_back(churn, &trie, i);
+    double trie_ns = search_ns_per_op(trie, u, bench::scaled(500000));
+    stop = true;
+    for (auto& t : storm) t.join();
+    storm.clear();
+    stop = false;
+    for (int i = 0; i < updaters; ++i) storm.emplace_back(churn, &sl, i);
+    double sl_ns = search_ns_per_op(sl, u, bench::scaled(500000));
+    stop = true;
+    for (auto& t : storm) t.join();
+    bench::row(bench::fmt("| %15d | %14.1f | %18.1f |", updaters, trie_ns, sl_ns));
+  }
+}
+
+}  // namespace
+}  // namespace lfbt
+
+int main() {
+  using namespace lfbt;
+  bench::header("E2: O(1) search",
+                "trie search cost is flat in u and under update load; "
+                "comparators grow with structure size");
+  vs_universe();
+  vs_update_load();
+  return 0;
+}

@@ -1,0 +1,46 @@
+// E3: predecessor-heavy throughput vs universe size.
+// Paper claim: trie predecessor costs O(ċ² + c̃ + log u) amortized —
+// logarithmic growth in u at fixed contention; skip list grows with
+// log n (set size), Harris list linearly.
+#include "baselines/harris_set.hpp"
+#include "baselines/lf_skiplist.hpp"
+#include "bench_util.hpp"
+#include "core/lockfree_trie.hpp"
+
+namespace lfbt {
+namespace {
+
+template <class Set>
+double run_one(Key universe, int threads, uint64_t ops) {
+  BenchConfig cfg;
+  cfg.threads = threads;
+  cfg.ops_per_thread = ops / static_cast<uint64_t>(threads);
+  cfg.universe = universe;
+  cfg.mix = kPredHeavy;  // i20/d20/p60
+  cfg.prefill_keys =
+      std::min<uint64_t>(static_cast<uint64_t>(universe) / 2, 1u << 15);
+  auto res = bench_fresh<Set>(cfg);
+  return res.mops_per_sec;
+}
+
+}  // namespace
+}  // namespace lfbt
+
+int main() {
+  using namespace lfbt;
+  bench::header("E3: predecessor cost vs universe",
+                "trie pred grows with log u; skiplist with log n; harris "
+                "with n (shape comparison)");
+  bench::row("| u      | th | trie Mops/s | skiplist Mops/s | harris Mops/s |");
+  bench::row("|--------|----|-------------|-----------------|---------------|");
+  const uint64_t ops = bench::scaled(300000);
+  for (int lg : {10, 12, 14, 16, 18, 20, 22}) {
+    const Key u = Key{1} << lg;
+    double trie = run_one<LockFreeBinaryTrie>(u, 4, ops);
+    double sl = run_one<LockFreeSkipList>(u, 4, ops);
+    double hs = lg <= 12 ? run_one<HarrisSet>(u, 4, ops / 20) : -1;
+    bench::row(bench::fmt("| 2^%-4d | %2d | %11.3f | %15.3f | %13.3f |", lg, 4,
+                          trie, sl, hs));
+  }
+  return 0;
+}

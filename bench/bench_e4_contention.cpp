@@ -1,0 +1,65 @@
+// E4: the contention terms (ċ², c̃) under key-space skew.
+// Paper claim: amortized cost carries a ċ² term — throughput degrades and
+// per-op step counts rise as traffic concentrates on few keys (narrow
+// clusters / high Zipf theta), while the log u term stays fixed.
+#include "baselines/lf_skiplist.hpp"
+#include "bench_util.hpp"
+#include "core/lockfree_trie.hpp"
+
+namespace lfbt {
+namespace {
+
+void run_cluster_sweep() {
+  bench::row("| hot window | th | trie Mops/s | cas/op | reads/op |");
+  bench::row("|------------|----|-------------|--------|----------|");
+  for (Key width : {Key{2}, Key{16}, Key{256}, Key{4096}, Key{65536}}) {
+    BenchConfig cfg;
+    cfg.threads = 8;
+    cfg.ops_per_thread = bench::scaled(300000) / 8;
+    cfg.universe = Key{1} << 16;
+    cfg.cluster_width = width;
+    cfg.mix = kUpdateHeavy;
+    cfg.prefill_keys = static_cast<uint64_t>(width) / 2 + 1;
+    Stats::reset();
+    auto res = bench_fresh<LockFreeBinaryTrie>(cfg);
+    bench::row(bench::fmt("| %10ld | %2d | %11.3f | %6.2f | %8.2f |",
+                          static_cast<long>(width), cfg.threads, res.mops_per_sec,
+                          double(res.steps.cas_attempts) / double(res.total_ops),
+                          double(res.steps.reads) / double(res.total_ops)));
+  }
+}
+
+void run_zipf_sweep() {
+  bench::row("");
+  bench::row("| zipf theta | th | trie Mops/s | skiplist Mops/s | cas/op (trie) |");
+  bench::row("|------------|----|-------------|-----------------|---------------|");
+  for (double theta : {0.0, 0.5, 0.9, 0.99}) {
+    BenchConfig cfg;
+    cfg.threads = 8;
+    cfg.ops_per_thread = bench::scaled(300000) / 8;
+    cfg.universe = Key{1} << 16;
+    cfg.zipf_theta = theta;
+    cfg.mix = kUpdateHeavy;
+    cfg.prefill_keys = 1 << 14;
+    Stats::reset();
+    auto trie = bench_fresh<LockFreeBinaryTrie>(cfg);
+    double trie_cas = double(trie.steps.cas_attempts) / double(trie.total_ops);
+    auto sl = bench_fresh<LockFreeSkipList>(cfg);
+    bench::row(bench::fmt("| %10.2f | %2d | %11.3f | %15.3f | %13.2f |", theta,
+                          cfg.threads, trie.mops_per_sec, sl.mops_per_sec,
+                          trie_cas));
+  }
+}
+
+}  // namespace
+}  // namespace lfbt
+
+int main() {
+  using namespace lfbt;
+  bench::header("E4: contention sweep",
+                "per-op CAS/steps rise as traffic concentrates (the c-squared "
+                "term); throughput falls accordingly");
+  run_cluster_sweep();
+  run_zipf_sweep();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// E5: measured per-operation step counts vs the paper's bounds.
+// Paper claims (Section 1): Search O(1); Insert O(ċ² + log u);
+// Delete/Predecessor O(ċ² + c̃ + log u) amortized. We report instrumented
+// shared-memory reads, CAS attempts and min-writes per op as u and thread
+// count vary: at 1 thread the counts should grow ~linearly in log u; at
+// fixed u they should grow with threads (the contention terms).
+#include "bench_util.hpp"
+#include "core/lockfree_trie.hpp"
+
+namespace lfbt {
+namespace {
+
+struct Row {
+  double reads, cas, minw;
+};
+
+Row measure(Key universe, int threads, const OpMix& mix) {
+  BenchConfig cfg;
+  cfg.threads = threads;
+  cfg.ops_per_thread = bench::scaled(120000) / static_cast<uint64_t>(threads);
+  cfg.universe = universe;
+  cfg.mix = mix;
+  cfg.prefill_keys =
+      std::min<uint64_t>(static_cast<uint64_t>(universe) / 2, 1u << 14);
+  Stats::reset();
+  auto res = bench_fresh<LockFreeBinaryTrie>(cfg);
+  return {double(res.steps.reads) / double(res.total_ops),
+          double(res.steps.cas_attempts) / double(res.total_ops),
+          double(res.steps.min_writes) / double(res.total_ops)};
+}
+
+void sweep_universe() {
+  bench::row("single thread, update-heavy — log u term:");
+  bench::row("| u      | log2 u | reads/op | cas/op | minwrites/op |");
+  bench::row("|--------|--------|----------|--------|--------------|");
+  for (int lg : {8, 12, 16, 20}) {
+    Row r = measure(Key{1} << lg, 1, kUpdateHeavy);
+    bench::row(bench::fmt("| 2^%-4d | %6d | %8.1f | %6.2f | %12.3f |", lg, lg,
+                          r.reads, r.cas, r.minw));
+  }
+}
+
+void sweep_threads() {
+  bench::row("");
+  bench::row("u = 2^16, update-heavy — contention term:");
+  bench::row("| threads | reads/op | cas/op | minwrites/op |");
+  bench::row("|---------|----------|--------|--------------|");
+  for (int threads : {1, 2, 4, 8, 16}) {
+    Row r = measure(Key{1} << 16, threads, kUpdateHeavy);
+    bench::row(bench::fmt("| %7d | %8.1f | %6.2f | %12.3f |", threads, r.reads,
+                          r.cas, r.minw));
+  }
+}
+
+void search_constant() {
+  bench::row("");
+  bench::row("search-only — O(1) claim:");
+  bench::row("| u      | reads/op |");
+  bench::row("|--------|----------|");
+  for (int lg : {8, 12, 16, 20}) {
+    Row r = measure(Key{1} << lg, 1, OpMix{0, 0, 100, 0});
+    bench::row(bench::fmt("| 2^%-4d | %8.2f |", lg, r.reads));
+  }
+}
+
+}  // namespace
+}  // namespace lfbt
+
+int main() {
+  using namespace lfbt;
+  bench::header("E5: amortized step counts",
+                "reads/op track log u at 1 thread; cas/op tracks contention; "
+                "search reads are constant");
+  sweep_universe();
+  sweep_threads();
+  search_constant();
+  return 0;
+}

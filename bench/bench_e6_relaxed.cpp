@@ -1,0 +1,93 @@
+// E6: the relaxed binary trie's ⊥ behaviour and wait-free update cost.
+// Paper claims (Section 4): updates and RelaxedPredecessor are wait-free
+// with O(log u) worst-case steps; RelaxedPredecessor returns ⊥ only under
+// concurrent updates (never when quiescent) and the ⊥ rate grows with
+// update pressure near the query range.
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "relaxed/relaxed_trie.hpp"
+
+namespace lfbt {
+namespace {
+
+void bottom_rate_vs_updaters() {
+  bench::row("| updaters | queries  | bottom-rate % | query ns/op |");
+  bench::row("|----------|----------|---------------|-------------|");
+  const Key u = Key{1} << 12;
+  for (int updaters : {0, 1, 2, 4, 7}) {
+    RelaxedBinaryTrie trie(u);
+    Xoshiro256 init(3);
+    for (int i = 0; i < 1 << 11; ++i) {
+      trie.insert(static_cast<Key>(init.bounded(static_cast<uint64_t>(u))));
+    }
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> storm;
+    for (int i = 0; i < updaters; ++i) {
+      storm.emplace_back([&trie, i, u, &stop] {
+        Xoshiro256 rng(50 + static_cast<uint64_t>(i));
+        while (!stop.load()) {
+          Key k = static_cast<Key>(rng.bounded(static_cast<uint64_t>(u)));
+          if (rng.bounded(2)) {
+            trie.insert(k);
+          } else {
+            trie.erase(k);
+          }
+        }
+      });
+    }
+    const uint64_t queries = bench::scaled(200000);
+    uint64_t bottoms = 0;
+    Xoshiro256 rng(7);
+    auto t0 = std::chrono::steady_clock::now();
+    for (uint64_t q = 0; q < queries; ++q) {
+      Key y = static_cast<Key>(rng.bounded(static_cast<uint64_t>(u))) + 1;
+      if (trie.relaxed_predecessor(y) == kBottom) ++bottoms;
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    stop = true;
+    for (auto& t : storm) t.join();
+    bench::row(bench::fmt(
+        "| %8d | %8lu | %13.4f | %11.1f |", updaters,
+        static_cast<unsigned long>(queries), 100.0 * double(bottoms) / double(queries),
+        std::chrono::duration<double, std::nano>(t1 - t0).count() / double(queries)));
+  }
+}
+
+void update_cost_vs_universe() {
+  bench::row("");
+  bench::row("wait-free update cost (single thread):");
+  bench::row("| u      | insert+erase ns/pair |");
+  bench::row("|--------|----------------------|");
+  for (int lg : {8, 12, 16, 20}) {
+    const Key u = Key{1} << lg;
+    RelaxedBinaryTrie trie(u);
+    Xoshiro256 rng(9);
+    const uint64_t pairs = bench::scaled(200000);
+    auto t0 = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < pairs; ++i) {
+      Key k = static_cast<Key>(rng.bounded(static_cast<uint64_t>(u)));
+      trie.insert(k);
+      trie.erase(k);
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    bench::row(bench::fmt(
+        "| 2^%-4d | %20.1f |", lg,
+        std::chrono::duration<double, std::nano>(t1 - t0).count() / double(pairs)));
+  }
+}
+
+}  // namespace
+}  // namespace lfbt
+
+int main() {
+  using namespace lfbt;
+  bench::header("E6: relaxed trie",
+                "bottom-rate is 0 when quiescent and grows with update "
+                "pressure; update cost grows with log u only");
+  bottom_rate_vs_updaters();
+  update_cost_vs_universe();
+  return 0;
+}

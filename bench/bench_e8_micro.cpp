@@ -1,0 +1,145 @@
+// E8: micro-benchmarks of the primitive substrates (google-benchmark).
+// Paper claim: the building blocks are O(1) — a min-write is one atomic
+// AND, the atomic copy is O(1) with helping, announcement-list and P-ALL
+// operations cost O(length) with tiny constants.
+#include <benchmark/benchmark.h>
+
+#include "baselines/seq_binary_trie.hpp"
+#include "core/lockfree_trie.hpp"
+#include "lists/announce_list.hpp"
+#include "lists/pall.hpp"
+#include "relaxed/relaxed_trie.hpp"
+#include "sync/atomic_copy.hpp"
+#include "sync/min_register.hpp"
+
+namespace lfbt {
+namespace {
+
+void BM_MinRegisterMinWrite(benchmark::State& state) {
+  MinRegister r(64);
+  uint32_t w = 63;
+  for (auto _ : state) {
+    r.min_write(w);
+    w = w == 1 ? 63 : w - 1;
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_MinRegisterMinWrite);
+
+void BM_MinRegisterRead(benchmark::State& state) {
+  MinRegister r(21);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.read());
+  }
+}
+BENCHMARK(BM_MinRegisterRead);
+
+void BM_AtomicCopy(benchmark::State& state) {
+  AtomicCopyWord w(0);
+  std::atomic<uintptr_t> src{42 << 2};
+  for (auto _ : state) {
+    w.copy(&src);
+    benchmark::DoNotOptimize(w.read());
+  }
+}
+BENCHMARK(BM_AtomicCopy);
+
+void BM_AnnounceListInsertRemove(benchmark::State& state) {
+  NodeArena arena;
+  AnnounceList list(arena, kUall, false);
+  // Keep `range` resident announcements so insert cost reflects a list of
+  // that length (= point contention in the real structure).
+  const int range = static_cast<int>(state.range(0));
+  std::vector<UpdateNode*> resident;
+  for (int i = 0; i < range; ++i) {
+    auto* n = arena.create<UpdateNode>(i * 2, NodeType::kIns);
+    n->status.store(UpdateNode::kActive);
+    list.insert(n);
+    resident.push_back(n);
+  }
+  Key k = 1;
+  for (auto _ : state) {
+    auto* n = arena.create<UpdateNode>(k, NodeType::kIns);
+    n->status.store(UpdateNode::kActive);
+    list.insert(n);
+    list.remove(n);
+    k = (k + 2) % (2 * range + 1);
+  }
+}
+BENCHMARK(BM_AnnounceListInsertRemove)->Arg(1)->Arg(8)->Arg(64)->Iterations(300000);  // arena-backed: bound memory
+
+void BM_PAllPushRemove(benchmark::State& state) {
+  NodeArena arena;
+  PAll pall;
+  for (auto _ : state) {
+    auto* p = arena.create<PredecessorNode>(1);
+    pall.push(p);
+    pall.remove(p);
+  }
+}
+BENCHMARK(BM_PAllPushRemove)->Iterations(1000000);
+
+void BM_TrieSearch(benchmark::State& state) {
+  const Key u = Key{1} << state.range(0);
+  LockFreeBinaryTrie trie(u);
+  for (Key k = 0; k < 1024; ++k) trie.insert(k * (u / 1024));
+  Key k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.contains(k));
+    k = (k + 4097) % u;
+  }
+}
+BENCHMARK(BM_TrieSearch)->Arg(10)->Arg(16)->Arg(22);
+
+void BM_TrieInsertErase(benchmark::State& state) {
+  const Key u = Key{1} << state.range(0);
+  LockFreeBinaryTrie trie(u);
+  Key k = 0;
+  for (auto _ : state) {
+    trie.insert(k);
+    trie.erase(k);
+    k = (k + 4097) % u;
+  }
+}
+BENCHMARK(BM_TrieInsertErase)->Arg(10)->Arg(16)->Arg(20)->Iterations(100000);
+
+void BM_TriePredecessor(benchmark::State& state) {
+  const Key u = Key{1} << state.range(0);
+  LockFreeBinaryTrie trie(u);
+  for (Key k = 0; k < 1024; ++k) trie.insert(k * (u / 1024));
+  Key y = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.predecessor(y));
+    y = (y + 8191) % u + 1;
+  }
+}
+BENCHMARK(BM_TriePredecessor)->Arg(10)->Arg(16)->Arg(20)->Iterations(150000);
+
+void BM_RelaxedPredecessor(benchmark::State& state) {
+  const Key u = Key{1} << state.range(0);
+  RelaxedBinaryTrie trie(u);
+  for (Key k = 0; k < 1024; ++k) trie.insert(k * (u / 1024));
+  Key y = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.relaxed_predecessor(y));
+    y = (y + 8191) % u + 1;
+  }
+}
+BENCHMARK(BM_RelaxedPredecessor)->Arg(10)->Arg(16)->Arg(20);
+
+void BM_SeqTriePredecessor(benchmark::State& state) {
+  const Key u = Key{1} << state.range(0);
+  SeqBinaryTrie trie(u);
+  for (Key k = 0; k < 1024; ++k) trie.insert(k * (u / 1024));
+  Key y = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.predecessor(y));
+    y = (y + 8191) % u + 1;
+  }
+}
+BENCHMARK(BM_SeqTriePredecessor)->Arg(10)->Arg(16)->Arg(20);
+
+}  // namespace
+}  // namespace lfbt
+
+BENCHMARK_MAIN();

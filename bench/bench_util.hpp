@@ -1,0 +1,44 @@
+// Shared support for the experiment benches (E1..E7): markdown-style table
+// output and a global scale knob.
+//
+// Each bench regenerates one experiment from DESIGN.md's index and prints
+// the same rows EXPERIMENTS.md records. LFBT_BENCH_SCALE (float, default
+// 1.0) multiplies op counts for slower/faster hosts.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "workload/harness.hpp"
+
+namespace lfbt::bench {
+
+inline double scale() {
+  static const double s = [] {
+    const char* env = std::getenv("LFBT_BENCH_SCALE");
+    return env != nullptr ? std::atof(env) : 1.0;
+  }();
+  return s <= 0 ? 1.0 : s;
+}
+
+inline uint64_t scaled(uint64_t ops) {
+  auto v = static_cast<uint64_t>(double(ops) * scale());
+  return v == 0 ? 1 : v;
+}
+
+inline void header(const char* experiment, const char* claim) {
+  std::printf("\n## %s\n", experiment);
+  std::printf("claim under test: %s\n\n", claim);
+}
+
+inline void row(const std::string& s) { std::printf("%s\n", s.c_str()); }
+
+template <class... Args>
+std::string fmt(const char* f, Args... args) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), f, args...);
+  return buf;
+}
+
+}  // namespace lfbt::bench

@@ -1,0 +1,119 @@
+// Deadline scheduler on top of predecessor queries — the paper motivates
+// predecessor structures as the core of priority queues [50].
+//
+// Tasks carry deadlines in a bounded horizon [0, 2^16). The trie stores
+// the set of *armed* deadlines; a worker claims the most urgent task by
+// scanning from the earliest deadline upward. Because erase() is a void
+// idempotent operation, claiming uses a side table of per-deadline claim
+// flags (one CAS) — a realistic pattern for building exactly-once
+// consumption on top of a lock-free set.
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/lockfree_trie.hpp"
+#include "sync/random.hpp"
+
+namespace {
+
+constexpr lfbt::Key kHorizon = lfbt::Key{1} << 16;
+constexpr int kProducers = 2;
+constexpr int kWorkers = 3;
+constexpr int kTasksPerProducer = 30000;
+
+struct Scheduler {
+  explicit Scheduler() : deadlines(kHorizon), claimed(new std::atomic<uint32_t>[kHorizon]()) {}
+
+  // Find the latest armed deadline <= `now`. A real EDF scheduler wants
+  // the *earliest*; we model "fire everything due by now", so workers pop
+  // the greatest due deadline first and drain downward.
+  lfbt::Key pop_due(lfbt::Key now) {
+    for (;;) {
+      lfbt::Key d = deadlines.predecessor(now + 1);
+      if (d == lfbt::kNoKey) return lfbt::kNoKey;
+      // Claim one pending task at this deadline (several tasks may share
+      // a deadline; `claimed` counts how many were consumed).
+      uint32_t pending = armed[d].load(std::memory_order_acquire);
+      while (pending > claimed[d].load(std::memory_order_acquire)) {
+        uint32_t c = claimed[d].load(std::memory_order_acquire);
+        if (c >= pending) break;
+        if (claimed[d].compare_exchange_strong(c, c + 1)) return d;
+      }
+      // Nothing left here: disarm the deadline and keep scanning below.
+      deadlines.erase(d);
+      // A producer may have re-armed d between our pending check and the
+      // erase (post() increments `armed` before inserting); re-check and
+      // restore the trie entry so the task cannot be stranded.
+      if (armed[d].load(std::memory_order_acquire) >
+          claimed[d].load(std::memory_order_acquire)) {
+        deadlines.insert(d);
+        continue;
+      }
+      if (d == 0) return lfbt::kNoKey;
+      now = d - 1;
+    }
+  }
+
+  void post(lfbt::Key deadline) {
+    armed[deadline].fetch_add(1, std::memory_order_acq_rel);
+    deadlines.insert(deadline);
+  }
+
+  lfbt::LockFreeBinaryTrie deadlines;
+  std::unique_ptr<std::atomic<uint32_t>[]> claimed;
+  std::atomic<uint32_t> armed[kHorizon]{};
+};
+
+}  // namespace
+
+int main() {
+  auto sched = std::make_unique<Scheduler>();
+  std::atomic<uint64_t> produced{0};
+  std::atomic<uint64_t> consumed{0};
+  std::atomic<int> producers_done{0};
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      lfbt::Xoshiro256 rng(500 + p);
+      for (int i = 0; i < kTasksPerProducer; ++i) {
+        sched->post(static_cast<lfbt::Key>(rng.bounded(kHorizon)));
+        produced.fetch_add(1, std::memory_order_relaxed);
+      }
+      producers_done.fetch_add(1);
+    });
+  }
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&] {
+      for (;;) {
+        lfbt::Key task = sched->pop_due(kHorizon - 1);
+        if (task != lfbt::kNoKey) {
+          consumed.fetch_add(1, std::memory_order_relaxed);
+        } else if (producers_done.load() == kProducers) {
+          // One final drain pass after producers stop.
+          if (sched->pop_due(kHorizon - 1) == lfbt::kNoKey) return;
+          consumed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  for (auto& t : producers) t.join();
+  for (auto& t : workers) t.join();
+
+  std::printf("task_scheduler: produced=%lu consumed=%lu\n",
+              static_cast<unsigned long>(produced.load()),
+              static_cast<unsigned long>(consumed.load()));
+  if (produced.load() != consumed.load()) {
+    std::printf("ERROR: lost or duplicated tasks\n");
+    return 1;
+  }
+  std::printf("every task consumed exactly once\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Workbench: run an ad-hoc workload against any shipped structure from
+// the command line.
+//
+//   workbench [structure] [threads] [ops_per_thread] [log2_universe]
+//             [insert%] [erase%] [contains%] [pred%] [zipf_theta]
+//
+//   structure: lockfree-trie | relaxed-trie | skiplist | harris |
+//              coarse | rwlock | cow | versioned
+//
+// Examples:
+//   workbench lockfree-trie 8 100000 16 50 50 0 0
+//   workbench skiplist 4 200000 20 20 20 0 60 0.99
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "baselines/cow_universal.hpp"
+#include "baselines/harris_set.hpp"
+#include "baselines/lf_skiplist.hpp"
+#include "baselines/locked_trie.hpp"
+#include "baselines/versioned_trie.hpp"
+#include "core/lockfree_trie.hpp"
+#include "relaxed/relaxed_trie.hpp"
+#include "workload/harness.hpp"
+
+namespace {
+
+template <class Set>
+int run(const lfbt::BenchConfig& cfg, const char* name) {
+  lfbt::Stats::reset();
+  auto res = lfbt::bench_fresh<Set>(cfg);
+  std::printf("structure        : %s\n", name);
+  std::printf("threads          : %d\n", cfg.threads);
+  std::printf("universe         : %ld\n", static_cast<long>(cfg.universe));
+  std::printf("mix              : %s\n", cfg.mix.name().c_str());
+  std::printf("zipf theta       : %.2f\n", cfg.zipf_theta);
+  std::printf("total ops        : %lu\n", static_cast<unsigned long>(res.total_ops));
+  std::printf("elapsed          : %.3f s\n", res.elapsed_sec);
+  std::printf("throughput       : %.3f Mops/s\n", res.mops_per_sec);
+  if (res.steps.total() > 0) {
+    std::printf("reads/op         : %.2f\n",
+                double(res.steps.reads) / double(res.total_ops));
+    std::printf("cas/op           : %.2f\n",
+                double(res.steps.cas_attempts) / double(res.total_ops));
+    std::printf("cas success rate : %.1f%%\n",
+                100.0 * double(res.steps.cas_successes) /
+                    double(res.steps.cas_attempts ? res.steps.cas_attempts : 1));
+    std::printf("minwrites/op     : %.3f\n",
+                double(res.steps.min_writes) / double(res.total_ops));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lfbt;
+  std::string structure = argc > 1 ? argv[1] : "lockfree-trie";
+  BenchConfig cfg;
+  cfg.threads = argc > 2 ? std::atoi(argv[2]) : 4;
+  cfg.ops_per_thread = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 100000;
+  cfg.universe = Key{1} << (argc > 4 ? std::atoi(argv[4]) : 16);
+  cfg.mix.insert_pct = argc > 5 ? std::atoi(argv[5]) : 25;
+  cfg.mix.erase_pct = argc > 6 ? std::atoi(argv[6]) : 25;
+  cfg.mix.contains_pct = argc > 7 ? std::atoi(argv[7]) : 25;
+  cfg.mix.predecessor_pct = argc > 8 ? std::atoi(argv[8]) : 25;
+  cfg.zipf_theta = argc > 9 ? std::atof(argv[9]) : 0.0;
+  if (cfg.mix.insert_pct + cfg.mix.erase_pct + cfg.mix.contains_pct +
+          cfg.mix.predecessor_pct !=
+      100) {
+    std::fprintf(stderr, "op mix must sum to 100\n");
+    return 2;
+  }
+
+  if (structure == "lockfree-trie") return run<LockFreeBinaryTrie>(cfg, "lockfree-trie");
+  if (structure == "relaxed-trie") return run<RelaxedBinaryTrie>(cfg, "relaxed-trie");
+  if (structure == "skiplist") return run<LockFreeSkipList>(cfg, "skiplist");
+  if (structure == "harris") return run<HarrisSet>(cfg, "harris");
+  if (structure == "coarse") return run<CoarseLockTrie>(cfg, "coarse");
+  if (structure == "rwlock") return run<RwLockTrie>(cfg, "rwlock");
+  if (structure == "cow") return run<CowUniversalSet>(cfg, "cow");
+  if (structure == "versioned") return run<VersionedTrie>(cfg, "versioned");
+  std::fprintf(stderr,
+               "unknown structure '%s' (try: lockfree-trie relaxed-trie "
+               "skiplist harris coarse rwlock cow versioned)\n",
+               structure.c_str());
+  return 2;
+}

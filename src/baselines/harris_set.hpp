@@ -1,0 +1,143 @@
+// Harris's lock-free ordered linked list as a dynamic set with
+// predecessor. O(n) searches — the paper's related-work strawman for why
+// flat lists do not solve the predecessor problem — but a useful
+// correctness baseline and a genuine consumer of the EBR substrate.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+
+#include "core/types.hpp"
+#include "sync/ebr.hpp"
+#include "sync/stats.hpp"
+
+namespace lfbt {
+
+class HarrisSet {
+ public:
+  explicit HarrisSet(Key universe = kPosInf) : u_(universe) {
+    head_ = new Node(kNegInf);
+    tail_ = new Node(kPosInf);
+    head_->next.store(pack(tail_));
+  }
+
+  ~HarrisSet() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next =
+          (n == tail_) ? nullptr : strip(n->next.load(std::memory_order_relaxed));
+      delete n;
+      n = next;
+    }
+  }
+
+  Key universe() const noexcept { return u_; }
+
+  bool contains(Key x) {
+    ebr::Guard guard;
+    Node* cur = strip(head_->next.load(std::memory_order_acquire));
+    while (cur->key < x) {
+      cur = strip(cur->next.load(std::memory_order_acquire));
+    }
+    return cur->key == x && !marked(cur->next.load(std::memory_order_acquire));
+  }
+
+  void insert(Key x) {
+    ebr::Guard guard;
+    Node* node = nullptr;
+    for (;;) {
+      auto [pred, curr] = search(x);
+      if (curr->key == x) {
+        delete node;
+        return;  // already present
+      }
+      if (node == nullptr) node = new Node(x);
+      node->next.store(pack(curr), std::memory_order_relaxed);
+      uintptr_t expected = pack(curr);
+      if (pred->next.compare_exchange_strong(expected, pack(node),
+                                             std::memory_order_acq_rel)) {
+        return;
+      }
+    }
+  }
+
+  void erase(Key x) {
+    ebr::Guard guard;
+    for (;;) {
+      auto [pred, curr] = search(x);
+      if (curr->key != x) return;  // not present
+      uintptr_t succ = curr->next.load(std::memory_order_acquire);
+      if (marked(succ)) return;  // someone else is deleting it
+      if (curr->next.compare_exchange_strong(succ, succ | kMark,
+                                             std::memory_order_acq_rel)) {
+        // We are the logical deleter; unlink and retire.
+        uintptr_t expected = pack(curr);
+        if (!pred->next.compare_exchange_strong(expected, succ,
+                                                std::memory_order_acq_rel)) {
+          search(x);  // let the search do the physical cleanup
+        }
+        ebr::retire(curr);
+        return;
+      }
+    }
+  }
+
+  /// Largest key < y, or kNoKey.
+  Key predecessor(Key y) {
+    ebr::Guard guard;
+    auto [pred, curr] = search(y);
+    (void)curr;
+    return pred == head_ ? kNoKey : pred->key;
+  }
+
+  /// Smallest key > y, or kNoKey.
+  Key successor(Key y) {
+    ebr::Guard guard;
+    auto [pred, curr] = search(y + 1);
+    (void)pred;
+    return curr == tail_ ? kNoKey : curr->key;
+  }
+
+ private:
+  struct Node {
+    explicit Node(Key k) : key(k) {}
+    const Key key;
+    std::atomic<uintptr_t> next{0};
+  };
+
+  static constexpr uintptr_t kMark = 1;
+  static Node* strip(uintptr_t w) noexcept {
+    return reinterpret_cast<Node*>(w & ~kMark);
+  }
+  static bool marked(uintptr_t w) noexcept { return (w & kMark) != 0; }
+  static uintptr_t pack(Node* n) noexcept { return reinterpret_cast<uintptr_t>(n); }
+
+  /// (pred, curr) with pred->key < x <= curr->key, both unmarked at read
+  /// time; physically unlinks marked nodes encountered.
+  std::pair<Node*, Node*> search(Key x) {
+  retry:
+    Node* pred = head_;
+    Node* curr = strip(pred->next.load(std::memory_order_acquire));
+    for (;;) {
+      uintptr_t cw = curr->next.load(std::memory_order_acquire);
+      if (marked(cw)) {
+        uintptr_t expected = pack(curr);
+        if (!pred->next.compare_exchange_strong(expected, cw & ~kMark,
+                                                std::memory_order_acq_rel)) {
+          goto retry;
+        }
+        curr = strip(cw);
+        continue;
+      }
+      if (curr->key >= x) return {pred, curr};
+      pred = curr;
+      curr = strip(cw);
+    }
+  }
+
+  Key u_;
+  Node* head_;
+  Node* tail_;
+};
+
+}  // namespace lfbt

@@ -1,0 +1,224 @@
+// Lock-free skip list with predecessor queries.
+//
+// Herlihy–Shavit style: per-level marked next pointers, logical deletion
+// by marking top-down, physical unlinking by `find`. This is the standard
+// lock-free comparator for predecessor structures (the paper's related
+// work discusses the Fomitchev–Ruppert skip list); expected O(log n)
+// searches, O(n) worst case.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cassert>
+
+#include "core/types.hpp"
+#include "sync/ebr.hpp"
+#include "sync/random.hpp"
+#include "sync/thread_registry.hpp"
+
+namespace lfbt {
+
+class LockFreeSkipList {
+ public:
+  static constexpr int kMaxLevel = 20;
+
+  explicit LockFreeSkipList(Key universe = kPosInf, uint64_t seed = 12345)
+      : u_(universe), seed_(seed) {
+    head_ = new Node(kNegInf, kMaxLevel);
+    tail_ = new Node(kPosInf, kMaxLevel);
+    for (int i = 0; i < kMaxLevel; ++i) head_->next[i].store(pack(tail_));
+  }
+
+  ~LockFreeSkipList() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next =
+          (n == tail_) ? nullptr : strip(n->next[0].load(std::memory_order_relaxed));
+      delete n;
+      n = next;
+    }
+  }
+
+  Key universe() const noexcept { return u_; }
+
+  bool contains(Key x) {
+    ebr::Guard guard;
+    Node* pred = head_;
+    Node* curr = nullptr;
+    for (int lvl = kMaxLevel - 1; lvl >= 0; --lvl) {
+      curr = strip(pred->next[lvl].load(std::memory_order_acquire));
+      for (;;) {
+        uintptr_t cw = curr->next[lvl].load(std::memory_order_acquire);
+        while (marked(cw)) {  // skip logically deleted nodes
+          curr = strip(cw);
+          cw = curr->next[lvl].load(std::memory_order_acquire);
+        }
+        if (curr->key < x) {
+          pred = curr;
+          curr = strip(cw);
+        } else {
+          break;
+        }
+      }
+    }
+    return curr->key == x;
+  }
+
+  void insert(Key x) {
+    ebr::Guard guard;
+    const int top = random_level();
+    Node* node = nullptr;
+    for (;;) {
+      Node* preds[kMaxLevel];
+      Node* succs[kMaxLevel];
+      if (find(x, preds, succs)) {
+        delete node;
+        return;  // present
+      }
+      if (node == nullptr) node = new Node(x, top);
+      for (int lvl = 0; lvl < top; ++lvl) {
+        node->next[lvl].store(pack(succs[lvl]), std::memory_order_relaxed);
+      }
+      uintptr_t expected = pack(succs[0]);
+      if (!preds[0]->next[0].compare_exchange_strong(
+              expected, pack(node), std::memory_order_acq_rel)) {
+        continue;  // bottom-level link failed: retry whole insert
+      }
+      // Link upper levels, re-finding around conflicts (Herlihy–Shavit).
+      for (int lvl = 1; lvl < top; ++lvl) {
+        for (;;) {
+          uintptr_t nw = node->next[lvl].load(std::memory_order_acquire);
+          if (marked(nw)) return;  // concurrently deleted; stop linking
+          Node* succ = succs[lvl];
+          if (strip(nw) != succ) {
+            if (!node->next[lvl].compare_exchange_strong(
+                    nw, pack(succ), std::memory_order_acq_rel)) {
+              continue;  // re-examine (possibly now marked)
+            }
+          }
+          uintptr_t pexp = pack(succ);
+          if (preds[lvl]->next[lvl].compare_exchange_strong(
+                  pexp, pack(node), std::memory_order_acq_rel)) {
+            break;
+          }
+          find(x, preds, succs);
+          if (succs[0] != node) return;  // node vanished (deleted) meanwhile
+        }
+      }
+      return;
+    }
+  }
+
+  void erase(Key x) {
+    ebr::Guard guard;
+    Node* preds[kMaxLevel];
+    Node* succs[kMaxLevel];
+    if (!find(x, preds, succs)) return;
+    Node* victim = succs[0];
+    // Mark from top level down to 1.
+    for (int lvl = victim->top_level - 1; lvl >= 1; --lvl) {
+      uintptr_t w = victim->next[lvl].load(std::memory_order_acquire);
+      while (!marked(w)) {
+        victim->next[lvl].compare_exchange_weak(w, w | kMark,
+                                                std::memory_order_acq_rel);
+      }
+    }
+    // Level 0 mark decides the logical delete.
+    uintptr_t w = victim->next[0].load(std::memory_order_acquire);
+    for (;;) {
+      if (marked(w)) return;  // someone else won
+      if (victim->next[0].compare_exchange_strong(w, w | kMark,
+                                                  std::memory_order_acq_rel)) {
+        find(x, preds, succs);  // physical cleanup
+        ebr::retire(victim);
+        return;
+      }
+    }
+  }
+
+  /// Largest key < y, or kNoKey.
+  Key predecessor(Key y) {
+    ebr::Guard guard;
+    Node* preds[kMaxLevel];
+    Node* succs[kMaxLevel];
+    find(y, preds, succs);
+    return preds[0] == head_ ? kNoKey : preds[0]->key;
+  }
+
+  /// Smallest key > y, or kNoKey.
+  Key successor(Key y) {
+    ebr::Guard guard;
+    Node* preds[kMaxLevel];
+    Node* succs[kMaxLevel];
+    find(y + 1, preds, succs);
+    return succs[0] == tail_ ? kNoKey : succs[0]->key;
+  }
+
+ private:
+  struct Node {
+    Node(Key k, int top) : key(k), top_level(top) {
+      for (auto& n : next) n.store(0, std::memory_order_relaxed);
+    }
+    const Key key;
+    const int top_level;
+    std::atomic<uintptr_t> next[kMaxLevel];
+  };
+
+  static constexpr uintptr_t kMark = 1;
+  static Node* strip(uintptr_t w) noexcept {
+    return reinterpret_cast<Node*>(w & ~kMark);
+  }
+  static bool marked(uintptr_t w) noexcept { return (w & kMark) != 0; }
+  static uintptr_t pack(Node* n) noexcept { return reinterpret_cast<uintptr_t>(n); }
+
+  int random_level() {
+    static thread_local Xoshiro256 rng{0};
+    static thread_local bool seeded = false;
+    if (!seeded) {
+      rng.reseed(seed_ + 0x7f4a7c15u * static_cast<uint64_t>(ThreadRegistry::id() + 1));
+      seeded = true;
+    }
+    // Geometric with p = 1/2, clamped.
+    int lvl = 1 + std::countr_one(rng.next() & ((uint64_t{1} << (kMaxLevel - 1)) - 1));
+    return lvl > kMaxLevel ? kMaxLevel : lvl;
+  }
+
+  /// Herlihy–Shavit find: fills preds/succs around x at every level,
+  /// snipping marked nodes. Returns true iff an unmarked node with key x
+  /// sits at level 0.
+  bool find(Key x, Node** preds, Node** succs) {
+  retry:
+    Node* pred = head_;
+    for (int lvl = kMaxLevel - 1; lvl >= 0; --lvl) {
+      Node* curr = strip(pred->next[lvl].load(std::memory_order_acquire));
+      for (;;) {
+        uintptr_t cw = curr->next[lvl].load(std::memory_order_acquire);
+        while (marked(cw)) {
+          uintptr_t expected = pack(curr);
+          if (!pred->next[lvl].compare_exchange_strong(
+                  expected, cw & ~kMark, std::memory_order_acq_rel)) {
+            goto retry;
+          }
+          curr = strip(cw);
+          cw = curr->next[lvl].load(std::memory_order_acquire);
+        }
+        if (curr->key < x) {
+          pred = curr;
+          curr = strip(cw);
+        } else {
+          break;
+        }
+      }
+      preds[lvl] = pred;
+      succs[lvl] = curr;
+    }
+    return succs[0]->key == x;
+  }
+
+  Key u_;
+  uint64_t seed_;
+  Node* head_;
+  Node* tail_;
+};
+
+}  // namespace lfbt

@@ -1,0 +1,78 @@
+// Lock-based baselines: the sequential binary trie under (a) one global
+// mutex and (b) a readers-writer lock. These are the "obvious" concurrent
+// tries the paper's lock-free design is measured against.
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "baselines/seq_binary_trie.hpp"
+
+namespace lfbt {
+
+/// Coarse-grained: every operation takes one global mutex.
+class CoarseLockTrie {
+ public:
+  explicit CoarseLockTrie(Key universe) : trie_(universe) {}
+
+  bool contains(Key x) {
+    std::lock_guard lock(mu_);
+    return trie_.contains(x);
+  }
+  void insert(Key x) {
+    std::lock_guard lock(mu_);
+    trie_.insert(x);
+  }
+  void erase(Key x) {
+    std::lock_guard lock(mu_);
+    trie_.erase(x);
+  }
+  Key predecessor(Key y) {
+    std::lock_guard lock(mu_);
+    return trie_.predecessor(y);
+  }
+  Key successor(Key y) {
+    std::lock_guard lock(mu_);
+    return trie_.successor(y);
+  }
+  Key universe() const noexcept { return trie_.universe(); }
+
+ private:
+  std::mutex mu_;
+  SeqBinaryTrie trie_;
+};
+
+/// Readers-writer: contains/predecessor take the lock shared, updates
+/// exclusive. Wins on read-heavy mixes, collapses under update load.
+class RwLockTrie {
+ public:
+  explicit RwLockTrie(Key universe) : trie_(universe) {}
+
+  bool contains(Key x) {
+    std::shared_lock lock(mu_);
+    return trie_.contains(x);
+  }
+  void insert(Key x) {
+    std::unique_lock lock(mu_);
+    trie_.insert(x);
+  }
+  void erase(Key x) {
+    std::unique_lock lock(mu_);
+    trie_.erase(x);
+  }
+  Key predecessor(Key y) {
+    std::shared_lock lock(mu_);
+    return trie_.predecessor(y);
+  }
+  Key successor(Key y) {
+    std::shared_lock lock(mu_);
+    return trie_.successor(y);
+  }
+  Key universe() const noexcept { return trie_.universe(); }
+
+ private:
+  std::shared_mutex mu_;
+  SeqBinaryTrie trie_;
+};
+
+}  // namespace lfbt

@@ -1,0 +1,206 @@
+// Versioned (augmented) binary trie, in the style the paper's Related
+// Work attributes to Fatourou & Ruppert [27]: trie nodes point to
+// immutable *version nodes* carrying an augmentation (here: subtree key
+// counts), so a consistent snapshot is one pointer read and updates
+// install fresh versions along a leaf-to-root path.
+//
+// We realise it as a path-copying persistent trie behind a single CAS'd
+// root: an update copies the O(log u) path, then CASes the root (retrying
+// on conflict — lock-free: a failed CAS means another update succeeded).
+// Reads are wait-free on an immutable snapshot, which makes predecessor,
+// rank and select trivially linearizable (they linearize at the root
+// read). The sum augmentation gives O(1) size() and O(log u) rank/select,
+// the operations [27] uses to motivate augmentation.
+//
+// Trade-off vs the paper's lock-free trie: every update allocates and
+// CASes one global word, so update throughput collapses under write
+// contention — exactly the behaviour E1 measures against.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <vector>
+
+#include "core/types.hpp"
+#include "sync/ebr.hpp"
+
+namespace lfbt {
+
+class VersionedTrie {
+ public:
+  explicit VersionedTrie(Key universe)
+      : u_(universe),
+        b_(static_cast<uint32_t>(std::bit_width(
+            static_cast<uint64_t>(universe < 2 ? 2 : universe) - 1))) {}
+
+  ~VersionedTrie() {
+    release(root_.load(std::memory_order_relaxed));
+  }
+
+  Key universe() const noexcept { return u_; }
+
+  bool contains(Key x) const {
+    assert(x >= 0 && x < u_);
+    ebr::Guard guard;
+    const VNode* v = root_.load(std::memory_order_acquire);
+    for (uint32_t lvl = b_; v != nullptr && lvl > 0; --lvl) {
+      v = bit_at(x, lvl - 1) ? v->right : v->left;
+    }
+    return v != nullptr;
+  }
+
+  void insert(Key x) { update(x, /*add=*/true); }
+  void erase(Key x) { update(x, /*add=*/false); }
+
+  /// Number of keys in the set — O(1), the headline augmented query.
+  std::size_t size() const {
+    ebr::Guard guard;
+    const VNode* v = root_.load(std::memory_order_acquire);
+    return v == nullptr ? 0 : v->sum;
+  }
+
+  /// Number of keys strictly less than y — O(log u) on a snapshot.
+  std::size_t rank(Key y) const {
+    assert(y >= 0 && y <= u_);
+    ebr::Guard guard;
+    const VNode* v = root_.load(std::memory_order_acquire);
+    // y at or beyond the padded key space: every key counts.
+    if (static_cast<uint64_t>(y) >= (uint64_t{1} << b_)) {
+      return v == nullptr ? 0 : v->sum;
+    }
+    std::size_t r = 0;
+    for (uint32_t lvl = b_; v != nullptr && lvl > 0; --lvl) {
+      if (bit_at(y, lvl - 1)) {
+        if (v->left != nullptr) r += v->left->sum;
+        v = v->right;
+      } else {
+        v = v->left;
+      }
+    }
+    return r;
+  }
+
+  /// i-th smallest key (0-based), or kNoKey if i >= size().
+  Key select(std::size_t i) const {
+    ebr::Guard guard;
+    const VNode* v = root_.load(std::memory_order_acquire);
+    if (v == nullptr || i >= v->sum) return kNoKey;
+    Key x = 0;
+    for (uint32_t lvl = b_; lvl > 0; --lvl) {
+      const std::size_t left_sum = v->left != nullptr ? v->left->sum : 0;
+      if (i < left_sum) {
+        v = v->left;
+      } else {
+        i -= left_sum;
+        v = v->right;
+        x |= Key{1} << (lvl - 1);
+      }
+    }
+    return x;
+  }
+
+  /// Largest key < y (linearizes at the snapshot read), or kNoKey.
+  Key predecessor(Key y) const {
+    assert(y >= 0 && y <= u_);
+    std::size_t r = rank(y);
+    return r == 0 ? kNoKey : select(r - 1);
+  }
+
+  /// Smallest key > y, or kNoKey.
+  Key successor(Key y) const {
+    assert(y >= -1 && y < u_);
+    std::size_t r = y < 0 ? 0 : rank(y + 1);
+    return select(r);
+  }
+
+ private:
+  struct VNode {
+    std::size_t sum;
+    const VNode* left;
+    const VNode* right;
+  };
+
+  static bool bit_at(Key x, uint32_t bit) noexcept {
+    return (static_cast<uint64_t>(x) >> bit) & 1;
+  }
+
+  /// Immutable rebuild of the path to x with the leaf set/cleared.
+  /// Returns the new root (nullptr = empty) and appends the freshly
+  /// allocated nodes to `fresh` so a failed CAS can roll them back.
+  const VNode* rebuild(const VNode* v, Key x, uint32_t lvl, bool add,
+                       std::vector<const VNode*>& fresh) {
+    if (lvl == 0) {
+      if (!add) return nullptr;
+      auto* leaf = new VNode{1, nullptr, nullptr};
+      fresh.push_back(leaf);
+      return leaf;
+    }
+    const VNode* old_left = v != nullptr ? v->left : nullptr;
+    const VNode* old_right = v != nullptr ? v->right : nullptr;
+    const VNode* left = old_left;
+    const VNode* right = old_right;
+    if (bit_at(x, lvl - 1)) {
+      right = rebuild(old_right, x, lvl - 1, add, fresh);
+    } else {
+      left = rebuild(old_left, x, lvl - 1, add, fresh);
+    }
+    const std::size_t sum =
+        (left != nullptr ? left->sum : 0) + (right != nullptr ? right->sum : 0);
+    if (sum == 0) return nullptr;
+    auto* node = new VNode{sum, left, right};
+    fresh.push_back(node);
+    return node;
+  }
+
+  void update(Key x, bool add) {
+    assert(x >= 0 && x < u_);
+    for (;;) {
+      ebr::Guard guard;
+      const VNode* old_root = root_.load(std::memory_order_acquire);
+      // Presence check on the snapshot: idempotent ops bail out.
+      {
+        const VNode* v = old_root;
+        for (uint32_t lvl = b_; v != nullptr && lvl > 0; --lvl) {
+          v = bit_at(x, lvl - 1) ? v->right : v->left;
+        }
+        if ((v != nullptr) == add) return;
+      }
+      std::vector<const VNode*> fresh;
+      const VNode* new_root = rebuild(old_root, x, b_, add, fresh);
+      const VNode* expected = old_root;
+      if (root_.compare_exchange_strong(expected, new_root,
+                                        std::memory_order_acq_rel)) {
+        // Retire exactly the replaced path of the old version; shared
+        // subtrees live on in the new version.
+        retire_path(old_root, x);
+        return;
+      }
+      for (const VNode* n : fresh) delete n;  // lost the race; roll back
+    }
+  }
+
+  void retire_path(const VNode* v, Key x) {
+    uint32_t lvl = b_;
+    while (v != nullptr) {
+      ebr::retire(const_cast<VNode*>(v));
+      if (lvl == 0) break;
+      v = bit_at(x, lvl - 1) ? v->right : v->left;
+      --lvl;
+    }
+  }
+
+  /// Destructor-only: free a whole version tree (no concurrency).
+  void release(const VNode* v) {
+    if (v == nullptr) return;
+    release(v->left);
+    release(v->right);
+    delete v;
+  }
+
+  Key u_;
+  uint32_t b_;
+  std::atomic<const VNode*> root_{nullptr};
+};
+
+}  // namespace lfbt

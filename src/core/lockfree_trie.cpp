@@ -1,0 +1,402 @@
+#include "core/lockfree_trie.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lfbt {
+namespace {
+
+bool contains_node(const std::vector<UpdateNode*>& v, const UpdateNode* n) {
+  return std::find(v.begin(), v.end(), n) != v.end();
+}
+
+void push_unique(std::vector<UpdateNode*>& v, UpdateNode* n) {
+  if (n != nullptr && !contains_node(v, n)) v.push_back(n);
+}
+
+/// "Prepend if not already present" (paper l.236/241): traversing a notify
+/// list newest-first and prepending yields oldest-first order.
+void prepend_unique(std::vector<UpdateNode*>& v, UpdateNode* n) {
+  if (n != nullptr && !contains_node(v, n)) v.insert(v.begin(), n);
+}
+
+void erase_node(std::vector<UpdateNode*>& v, const UpdateNode* n) {
+  v.erase(std::remove(v.begin(), v.end(), n), v.end());
+}
+
+Key max_key(const std::vector<UpdateNode*>& v, Key acc) {
+  for (const UpdateNode* n : v) acc = std::max(acc, n->key);
+  return acc;
+}
+
+}  // namespace
+
+LockFreeBinaryTrie::LockFreeBinaryTrie(Key universe)
+    : core_(universe, arena_),
+      uall_(arena_, kUall, /*descending=*/false),
+      ruall_(arena_, kRuall, /*descending=*/true) {}
+
+bool LockFreeBinaryTrie::contains(Key x) {
+  assert(x >= 0 && x < core_.universe());
+  return core_.find_latest(x)->type == NodeType::kIns;
+}
+
+void LockFreeBinaryTrie::announce(UpdateNode* u) {
+  // U-ALL before RU-ALL; retract() keeps the same order. Lemma 5.19's
+  // argument needs visible U-ALL presence to imply visible RU-ALL
+  // presence once activated.
+  uall_.insert(u);
+  ruall_.insert(u);
+}
+
+void LockFreeBinaryTrie::retract(UpdateNode* u) {
+  uall_.remove(u);
+  ruall_.remove(u);
+}
+
+// Paper l.128–136.
+void LockFreeBinaryTrie::help_activate(UpdateNode* u) {
+  if (u->status.load() == UpdateNode::kInactive) {
+    Stats::count_help();
+    announce(u);
+    u->status.store(UpdateNode::kActive);
+    if (u->type == NodeType::kDel) {
+      // l.133: stop the target of the Insert this Delete superseded.
+      if (UpdateNode* ln = u->latest_next.load()) {
+        if (DelNode* tg = ln->target.load()) tg->stop.store(true);
+      }
+    }
+    u->latest_next.store(nullptr);  // l.134
+    if (u->completed.load()) {      // l.135: owner finished; re-retract
+      retract(u);
+    }
+  }
+}
+
+// Paper l.162–180.
+void LockFreeBinaryTrie::insert(Key x) {
+  assert(x >= 0 && x < core_.universe());
+  UpdateNode* d_node = core_.find_latest(x);
+  if (d_node->type != NodeType::kDel) return;  // l.164: x already in S
+  auto* i_node = arena_.create<UpdateNode>(x, NodeType::kIns);
+  i_node->latest_next.store(d_node);  // l.167
+  // l.168: help stop the Delete the previous Insert targeted (ignore ⊥s).
+  if (UpdateNode* ln = d_node->latest_next.load()) {
+    if (DelNode* tg = ln->target.load()) tg->stop.store(true);
+  }
+  d_node->latest_next.store(nullptr);  // l.169
+  if (!core_.cas_latest(x, d_node, i_node)) {
+    help_activate(core_.read_latest(x));  // l.171
+    return;
+  }
+  announce(i_node);                                // l.173
+  i_node->status.store(UpdateNode::kActive);       // l.174 — linearization
+  i_node->latest_next.store(nullptr);              // l.175
+  core_.insert_binary_trie(i_node);                // l.176
+  notify_pred_ops(i_node);                         // l.177
+  i_node->completed.store(true);                   // l.178
+  retract(i_node);                                 // l.179
+}
+
+// Paper l.181–206.
+void LockFreeBinaryTrie::erase(Key x) {
+  assert(x >= 0 && x < core_.universe());
+  UpdateNode* i_node = core_.find_latest(x);
+  if (i_node->type != NodeType::kIns) return;  // l.183: x not in S
+  auto [del_pred, p_node1] = pred_helper(x);   // l.184 — first embedded pred
+  auto* d_node = arena_.create<DelNode>(x, core_.b());
+  d_node->latest_next.store(i_node);  // l.187
+  d_node->del_pred = del_pred;        // l.188
+  d_node->del_pred_node = p_node1;    // l.189
+  i_node->latest_next.store(nullptr); // l.190
+  notify_pred_ops(i_node);            // l.191 — help previous Insert notify
+  if (!core_.cas_latest(x, i_node, d_node)) {
+    help_activate(core_.read_latest(x));  // l.193
+    pall_.remove(p_node1);                // l.194
+    return;
+  }
+  announce(d_node);                               // l.196
+  d_node->status.store(UpdateNode::kActive);      // l.197 — linearization
+  if (DelNode* tg = i_node->target.load()) {      // l.198
+    tg->stop.store(true);
+  }
+  d_node->latest_next.store(nullptr);             // l.199
+  auto [del_pred2, p_node2] = pred_helper(x);     // l.200 — second embedded
+  d_node->del_pred2.store(del_pred2);             // l.201
+  core_.delete_binary_trie(d_node);               // l.202
+  notify_pred_ops(d_node);                        // l.203
+  d_node->completed.store(true);                  // l.204
+  retract(d_node);                                // l.205
+  pall_.remove(p_node1);                          // l.206
+  pall_.remove(p_node2);
+}
+
+// Paper l.137–145. Collects first-activated update nodes with key < x.
+LockFreeBinaryTrie::UallSets LockFreeBinaryTrie::traverse_uall(Key x) {
+  UallSets out;
+  for (AnnCell* c = uall_.next_visible(uall_.head());
+       c != uall_.tail() && c->key < x; c = uall_.next_visible(c)) {
+    UpdateNode* u = c->node;
+    Stats::count_read();
+    if (u->status.load() != UpdateNode::kInactive && core_.first_activated(u)) {
+      push_unique(u->type == NodeType::kIns ? out.ins : out.del, u);
+    }
+  }
+  return out;
+}
+
+// Paper l.146–155.
+void LockFreeBinaryTrie::notify_pred_ops(UpdateNode* u) {
+  UallSets sets = traverse_uall(kPosInf);  // l.147
+  for (PredecessorNode* p = pall_.first_live(); p != nullptr;
+       p = PAll::next_live(p)) {
+    if (!core_.first_activated(u)) return;  // l.149
+    auto* n = arena_.create<NotifyNode>();
+    n->key = u->key;
+    n->update_node = u;
+    // l.153: INS node in the U-ALL snapshot with largest key < p->key.
+    n->update_node_max = nullptr;
+    for (auto it = sets.ins.rbegin(); it != sets.ins.rend(); ++it) {
+      if ((*it)->key < p->key) {
+        n->update_node_max = *it;
+        break;
+      }
+    }
+    // l.154: the predecessor's current RU-ALL position key.
+    AnnCell* pos = AnnounceList::strip(p->ruall_position.read());
+    n->notify_threshold = pos->key;
+    // l.156–161: publish, revalidating first-activation before the CAS.
+    bool sent = NotifyList::push(p, n, [&] { return core_.first_activated(u); });
+    if (!sent) return;
+  }
+}
+
+// Paper l.257–269. Advances p->ruall_position with atomic copies and
+// collects first-activated update nodes with key < p->key.
+void LockFreeBinaryTrie::traverse_ruall(PredecessorNode* p,
+                                        std::vector<UpdateNode*>& ins,
+                                        std::vector<UpdateNode*>& del) {
+  const Key y = p->key;
+  AnnCell* u = AnnounceList::strip(p->ruall_position.read());
+  do {
+    p->ruall_position.copy(ruall_.next_word(u));  // l.262 — atomic copy
+    u = AnnounceList::strip(p->ruall_position.read());
+    Stats::count_read();
+    if (u != ruall_.tail() && u->key < y) {
+      UpdateNode* n = u->node;
+      // Canonicity check (`ann_cell == u`) filters cells spliced by
+      // helpers that lost the announcement claim; see announce_list.hpp.
+      if (n->status.load() != UpdateNode::kInactive &&
+          n->ann_cell[kRuall].load() == u && core_.first_activated(n)) {
+        push_unique(n->type == NodeType::kIns ? ins : del, n);
+      }
+    }
+  } while (u != ruall_.tail());
+}
+
+// Paper l.207–252.
+std::pair<Key, PredecessorNode*> LockFreeBinaryTrie::pred_helper(Key y) {
+  auto* p_node = arena_.create<PredecessorNode>(y);
+  p_node->ruall_position.store(AnnounceList::pack(ruall_.head()));
+  pall_.push(p_node);  // l.209 — announce
+
+  // l.210–214: snapshot the P-ALL suffix; prepending makes Q oldest-first.
+  std::vector<PredecessorNode*> q;
+  for (PredecessorNode* it = PAll::next_raw(p_node); it != nullptr;
+       it = PAll::next_raw(it)) {
+    q.push_back(it);
+  }
+  std::reverse(q.begin(), q.end());
+
+  std::vector<UpdateNode*> i_ruall, d_ruall;
+  traverse_ruall(p_node, i_ruall, d_ruall);     // l.215
+  Key r0 = core_.relaxed_predecessor(y);      // l.216 — CT starts here
+  UallSets uall_sets = traverse_uall(y);        // l.217
+
+  // l.218–227: collect notifications (head snapshot = Cnotify).
+  std::vector<UpdateNode*> i_notify, d_notify;
+  for (NotifyNode* nn = NotifyList::head(p_node); nn != nullptr; nn = nn->next) {
+    if (nn->key >= y) continue;
+    if (nn->update_node->type == NodeType::kIns) {
+      if (nn->notify_threshold <= nn->key) push_unique(i_notify, nn->update_node);
+    } else {
+      if (nn->notify_threshold < nn->key) push_unique(d_notify, nn->update_node);
+    }
+    // l.226–227: accept the notifier's U-ALL maximum when we were past the
+    // RU-ALL end at notification time and the notifier itself is not an
+    // update we already account for via the RU-ALL.
+    if (nn->notify_threshold == kNegInf &&
+        !contains_node(i_ruall, nn->update_node) &&
+        !contains_node(d_ruall, nn->update_node)) {
+      push_unique(i_notify, nn->update_node_max);
+    }
+  }
+
+  // l.228: r1 over Iuall ∪ Inotify ∪ (Duall − Druall) ∪ (Dnotify − Druall).
+  Key r1 = kNoKey;
+  r1 = max_key(uall_sets.ins, r1);
+  r1 = max_key(i_notify, r1);
+  for (UpdateNode* n : uall_sets.del) {
+    if (!contains_node(d_ruall, n)) r1 = std::max(r1, n->key);
+  }
+  for (UpdateNode* n : d_notify) {
+    if (!contains_node(d_ruall, n)) r1 = std::max(r1, n->key);
+  }
+
+  // l.230–251: the trie traversal was blocked by concurrent updates.
+  if (r0 == kBottom) {
+    r0 = d_ruall.empty() ? kNoKey : bottom_fallback(y, p_node, q, d_ruall);
+  }
+  return {std::max(r0, r1), p_node};  // l.252
+}
+
+// Paper l.231–251: recover a candidate ≥ k from embedded-predecessor
+// results when RelaxedPredecessor returned ⊥ and old deletes (Druall) are
+// in flight.
+Key LockFreeBinaryTrie::bottom_fallback(
+    Key y, PredecessorNode* p_node, const std::vector<PredecessorNode*>& q,
+    const std::vector<UpdateNode*>& d_ruall) {
+  // l.232–234: the earliest-announced first-embedded-predecessor node of a
+  // Druall delete that we saw in the P-ALL.
+  PredecessorNode* p_prime = nullptr;
+  for (PredecessorNode* cand : q) {
+    for (UpdateNode* n : d_ruall) {
+      if (static_cast<DelNode*>(n)->del_pred_node == cand) {
+        p_prime = cand;
+        break;
+      }
+    }
+    if (p_prime != nullptr) break;
+  }
+
+  // l.231–236: L1 = update nodes that notified pNode', oldest-first.
+  std::vector<UpdateNode*> l1;
+  if (p_prime != nullptr) {
+    for (NotifyNode* nn = NotifyList::head(p_prime); nn != nullptr; nn = nn->next) {
+      if (nn->key < y) prepend_unique(l1, nn->update_node);
+    }
+  }
+
+  // l.237–241: L2 from our own notify list (thresholds >= key, i.e. the
+  // notifications we *rejected* plus early INS ones); every notifier seen
+  // here is dropped from L1.
+  std::vector<UpdateNode*> l2;
+  for (NotifyNode* nn = NotifyList::head(p_node); nn != nullptr; nn = nn->next) {
+    if (nn->key >= y) continue;
+    erase_node(l1, nn->update_node);
+    if (nn->notify_threshold >= nn->key) prepend_unique(l2, nn->update_node);
+  }
+
+  // l.242: L = L1 ++ L2.
+  std::vector<UpdateNode*> l = l1;
+  for (UpdateNode* n : l2) l.push_back(n);
+
+  // l.243: drop every DEL node that is not the last update node in L with
+  // its key.
+  std::vector<UpdateNode*> filtered;
+  for (std::size_t i = 0; i < l.size(); ++i) {
+    if (l[i]->type == NodeType::kDel) {
+      bool later_same_key = false;
+      for (std::size_t j = i + 1; j < l.size(); ++j) {
+        if (l[j]->key == l[i]->key) {
+          later_same_key = true;
+          break;
+        }
+      }
+      if (later_same_key) continue;
+    }
+    filtered.push_back(l[i]);
+  }
+
+  // Definition 5.1: TL = (V, E), E = {key -> delPred2} for DEL nodes in L.
+  // After l.243 there is at most one DEL node (hence one outgoing edge)
+  // per key, and every edge strictly decreases the key, so walks from X
+  // terminate at sinks.
+  std::vector<std::pair<Key, Key>> edges;
+  for (UpdateNode* n : filtered) {
+    if (n->type == NodeType::kDel) {
+      Key dp2 = static_cast<DelNode*>(n)->del_pred2.load();
+      // DEL nodes reach notify lists only after delPred2 is written
+      // (l.201 precedes l.203); guard anyway.
+      if (dp2 != kUnsetPred) edges.emplace_back(n->key, dp2);
+    }
+  }
+  auto out_edge = [&edges](Key v) -> const Key* {
+    for (const auto& [from, to] : edges) {
+      if (from == v) return &to;
+    }
+    return nullptr;
+  };
+
+  // l.247–248: X = {delPred of Druall deletes} ∪ {keys of INS nodes in L}.
+  std::vector<Key> x_set;
+  for (UpdateNode* n : d_ruall) x_set.push_back(static_cast<DelNode*>(n)->del_pred);
+  for (UpdateNode* n : filtered) {
+    if (n->type == NodeType::kIns) x_set.push_back(n->key);
+  }
+
+  // l.249: R = sinks reachable from X (chain walks; edges decrease keys).
+  std::vector<Key> r;
+  for (Key v : x_set) {
+    // Bounded walk as defence in depth; chains are strictly decreasing.
+    for (int steps = 0; steps < 1 + 64; ++steps) {
+      const Key* next = out_edge(v);
+      if (next == nullptr) break;
+      v = *next;
+    }
+    r.push_back(v);
+  }
+  // l.250: drop keys of Druall deletes.
+  for (UpdateNode* n : d_ruall) {
+    r.erase(std::remove(r.begin(), r.end(), n->key), r.end());
+  }
+  // l.251 (paper guarantees non-emptiness; return -1 defensively).
+  if (r.empty()) return kNoKey;
+  return *std::max_element(r.begin(), r.end());
+}
+
+bool LockFreeBinaryTrie::stall_insert_for_test(Key x) {
+  UpdateNode* d_node = core_.find_latest(x);
+  if (d_node->type != NodeType::kDel) return false;
+  auto* i_node = arena_.create<UpdateNode>(x, NodeType::kIns);
+  i_node->latest_next.store(d_node);
+  d_node->latest_next.store(nullptr);
+  if (!core_.cas_latest(x, d_node, i_node)) return false;
+  announce(i_node);
+  i_node->status.store(UpdateNode::kActive);  // linearized — then crash.
+  return true;
+}
+
+bool LockFreeBinaryTrie::stall_delete_for_test(Key x) {
+  UpdateNode* i_node = core_.find_latest(x);
+  if (i_node->type != NodeType::kIns) return false;
+  auto [del_pred, p_node1] = pred_helper(x);
+  auto* d_node = arena_.create<DelNode>(x, core_.b());
+  d_node->latest_next.store(i_node);
+  d_node->del_pred = del_pred;
+  d_node->del_pred_node = p_node1;
+  i_node->latest_next.store(nullptr);
+  notify_pred_ops(i_node);
+  if (!core_.cas_latest(x, i_node, d_node)) {
+    pall_.remove(p_node1);
+    return false;
+  }
+  announce(d_node);
+  d_node->status.store(UpdateNode::kActive);  // linearized
+  if (DelNode* tg = i_node->target.load()) tg->stop.store(true);
+  d_node->latest_next.store(nullptr);
+  auto [del_pred2, p_node2] = pred_helper(x);
+  (void)p_node2;  // stays announced, exactly like a crashed thread's
+  d_node->del_pred2.store(del_pred2);
+  return true;  // crash before DeleteBinaryTrie / notify / retract.
+}
+
+// Paper l.253–256.
+Key LockFreeBinaryTrie::predecessor(Key y) {
+  assert(y >= 0 && y <= core_.universe());
+  auto [pred, p_node] = pred_helper(y);
+  pall_.remove(p_node);  // l.255
+  return pred;
+}
+
+}  // namespace lfbt

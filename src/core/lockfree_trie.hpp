@@ -1,0 +1,104 @@
+// The lock-free, linearizable binary trie of Section 5 — the paper's
+// headline contribution.
+//
+// A dynamic set over U = {0..u-1} supporting
+//   contains(x)      O(1) worst case,
+//   insert(x)        O(ċ² + log u) amortized,
+//   erase(x)         O(ċ² + c̃ + log u) amortized,
+//   predecessor(y)   O(ċ² + c̃ + log u) amortized, linearizable,
+// where ċ is point contention and c̃ overlapping-interval contention.
+//
+// Components (Section 5.1):
+//  * the relaxed binary trie (TrieCore) for the O(log u) bit updates and
+//    the wait-free RelaxedPredecessor traversal;
+//  * per-key latest lists (latest[x] plus latestNext), length <= 2, whose
+//    first *activated* node encodes membership;
+//  * the U-ALL / RU-ALL update announcement lists (AnnounceList);
+//  * the P-ALL predecessor announcement list with per-predecessor notify
+//    lists (PAll / NotifyList);
+//  * embedded Predecessor operations inside every Delete (delPred,
+//    delPred2), consumed by the ⊥-fallback of PredHelper (Definition 5.1
+//    TL graph).
+//
+// Progress: lock-free. Operations that lose the latest[x] CAS help the
+// winner activate (HelpActivate) and return; predecessor operations never
+// help updates — they instead extract a correct answer from announcements
+// and notifications, which is the paper's key departure from classic
+// helping designs.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "lists/announce_list.hpp"
+#include "lists/pall.hpp"
+#include "relaxed/trie_core.hpp"
+
+namespace lfbt {
+
+class LockFreeBinaryTrie {
+ public:
+  explicit LockFreeBinaryTrie(Key universe);
+
+  Key universe() const noexcept { return core_.universe(); }
+
+  /// Paper Search (l.121–124). O(1), linearizable.
+  bool contains(Key x);
+
+  /// Paper Insert (l.162–180). Linearized at the status flip of its INS
+  /// node (possibly performed by a helper).
+  void insert(Key x);
+
+  /// Paper Delete (l.181–206). Linearized at the status flip of its DEL
+  /// node. Runs two embedded Predecessor operations whose results feed
+  /// concurrent predecessors' ⊥-fallback.
+  void erase(Key x);
+
+  /// Paper Predecessor (l.253–256): largest key < y in S at the
+  /// linearization point, or kNoKey (-1). y in [0, universe()].
+  Key predecessor(Key y);
+
+  std::size_t memory_reserved() const noexcept { return arena_.bytes_reserved(); }
+  TrieCore& core_for_test() noexcept { return core_; }
+
+  /// Test-only fault injection: runs Insert(x) up to and including its
+  /// activation (linearization, l.174) and then "crashes" — never fixing
+  /// the trie bits, notifying, or retracting its announcement. Returns
+  /// false if x was already present. Models a thread dying mid-insert;
+  /// correctness must then come from the permanent U-ALL announcement.
+  bool stall_insert_for_test(Key x);
+
+  /// Test-only fault injection: runs Delete(x) through activation and the
+  /// second embedded predecessor (l.201), then "crashes" — leaving its
+  /// interpreted bits stale and its embedded predecessor announcements in
+  /// the P-ALL forever. Models the adversary Section 5's ⊥-fallback
+  /// (Definition 5.1) exists for. Returns false if x was absent.
+  bool stall_delete_for_test(Key x);
+
+ private:
+  struct UallSets {
+    std::vector<UpdateNode*> ins;  // ascending key order
+    std::vector<UpdateNode*> del;
+  };
+
+  void announce(UpdateNode* u);  // insert into U-ALL then RU-ALL (order!)
+  void retract(UpdateNode* u);   // remove from U-ALL then RU-ALL (order!)
+  void help_activate(UpdateNode* u);                       // l.128–136
+  UallSets traverse_uall(Key x);                         // l.137–145
+  void notify_pred_ops(UpdateNode* u);                     // l.146–155
+  void traverse_ruall(PredecessorNode* p,
+                      std::vector<UpdateNode*>& ins,
+                      std::vector<UpdateNode*>& del);      // l.257–269
+  std::pair<Key, PredecessorNode*> pred_helper(Key y); // l.207–252
+  Key bottom_fallback(Key y, PredecessorNode* p_node,
+                        const std::vector<PredecessorNode*>& q,
+                        const std::vector<UpdateNode*>& d_ruall);  // l.230–251
+
+  NodeArena arena_;
+  TrieCore core_;
+  AnnounceList uall_;
+  AnnounceList ruall_;
+  PAll pall_;
+};
+
+}  // namespace lfbt

@@ -1,0 +1,134 @@
+// Node types of the (relaxed and lock-free) binary trie — the paper's
+// Figure 4 / Figure 6 field tables, merged: the relaxed trie simply leaves
+// the announcement-related fields unused and creates every node Active,
+// under which the full-trie FindLatest/FirstActivated degenerate to the
+// relaxed-trie versions (a plain read / a pointer comparison).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/types.hpp"
+#include "sync/atomic_copy.hpp"
+#include "sync/min_register.hpp"
+
+namespace lfbt {
+
+struct UpdateNode;
+struct DelNode;
+struct PredecessorNode;
+
+/// A cell of the U-ALL or RU-ALL (paper Section 5.1). Cells are separate
+/// from update nodes so that several helpers can race to announce the same
+/// update node: each splices its own cell, then one claims canonicity via
+/// CAS on UpdateNode::ann_cell (see AnnounceList for the full protocol).
+///
+/// `next` packs a Cell* with a removal mark in bit 1. Bit 0 stays clear:
+/// it is the descriptor tag of AtomicCopyWord, which copies these words
+/// into PredecessorNode::ruall_position.
+struct AnnCell {
+  Key key = 0;
+  UpdateNode* node = nullptr;
+  std::atomic<uintptr_t> next{0};
+};
+
+enum : int { kUall = 0, kRuall = 1 };
+
+/// Paper lines 91–104. INS and DEL nodes share a base; DEL-only fields
+/// live in DelNode.
+struct UpdateNode {
+  UpdateNode(Key k, NodeType t) : key(k), type(t) {}
+
+  const Key key;
+  const NodeType type;
+
+  /// Inactive(0) -> Active(1); an S-modifying op linearizes at this flip.
+  std::atomic<uint8_t> status{0};
+
+  /// Pointer to the previous update node in the latest[key] list; changes
+  /// once to nullptr (the paper's ⊥).
+  std::atomic<UpdateNode*> latest_next{nullptr};
+
+  /// DEL node this operation wants to min-write (InsertBinaryTrie l.43).
+  std::atomic<DelNode*> target{nullptr};
+
+  /// Set by newer operations to tell this one to stop updating bits.
+  std::atomic<bool> stop{false};
+
+  /// Set when the op finished updating the trie + notifying (l.178/204).
+  std::atomic<bool> completed{false};
+
+  /// Canonical announcement cells (kUall / kRuall); set once by the claim
+  /// CAS in AnnounceList::insert, read by remove and by traversals for the
+  /// canonicity check.
+  std::atomic<AnnCell*> ann_cell[2] = {{nullptr}, {nullptr}};
+
+  bool is_del() const noexcept { return type == NodeType::kDel; }
+  DelNode* as_del() noexcept;
+
+  static constexpr uint8_t kInactive = 0;
+  static constexpr uint8_t kActive = 1;
+};
+
+struct DelNode : UpdateNode {
+  /// b is the trie height; lower1Boundary initialises to b+1.
+  DelNode(Key k, uint32_t b) : UpdateNode(k, NodeType::kDel), lower1(b + 1) {}
+
+  /// All trie nodes at height <= upper0 that depend on this DEL node have
+  /// interpreted bit 0. Only the creating Delete writes it (l.72),
+  /// incrementing by one per completed DeleteBinaryTrie iteration.
+  std::atomic<uint32_t> upper0{0};
+
+  /// Min-register (paper's (b+1)-bit AND): trie nodes at height >= lower1
+  /// that depend on this DEL node have interpreted bit 1.
+  MinRegister lower1;
+
+  // --- Full-trie (Section 5) fields; unused by the relaxed trie. ---
+
+  /// Predecessor node of the first embedded Predecessor (immutable).
+  PredecessorNode* del_pred_node = nullptr;
+
+  /// Result of the first embedded Predecessor (immutable).
+  Key del_pred = kNoKey;
+
+  /// Result of the second embedded Predecessor; kUnsetPred until written
+  /// (before DeleteBinaryTrie, l.201).
+  std::atomic<Key> del_pred2{kUnsetPred};
+};
+
+inline DelNode* UpdateNode::as_del() noexcept {
+  return is_del() ? static_cast<DelNode*>(this) : nullptr;
+}
+
+/// A notification pushed by an update operation onto a predecessor node's
+/// notify list (paper lines 109–113). Immutable after publication.
+struct NotifyNode {
+  Key key = 0;
+  UpdateNode* update_node = nullptr;
+  /// INS node with the largest key < the predecessor's key that the
+  /// notifier saw in the U-ALL; may be null.
+  UpdateNode* update_node_max = nullptr;
+  /// Key of the RU-ALL cell the predecessor was visiting when notified.
+  Key notify_threshold = kPosInf;
+  NotifyNode* next = nullptr;
+};
+
+/// Announcement of a Predecessor operation in the P-ALL (lines 105–108).
+struct PredecessorNode {
+  explicit PredecessorNode(Key k) : key(k) {}
+
+  const Key key;
+
+  /// Insert-only list of notifications, newest first.
+  std::atomic<NotifyNode*> notify_head{nullptr};
+
+  /// RU-ALL cell currently visited by this predecessor op; single-writer
+  /// atomic copy target (see atomic_copy.hpp). Holds an AnnCell* word,
+  /// possibly with the list mark (bit 1) set — strip with AnnCell masks.
+  AtomicCopyWord ruall_position;
+
+  /// Intrusive hook for the P-ALL (mark in bit 0: removed).
+  std::atomic<uintptr_t> pall_next{0};
+};
+
+}  // namespace lfbt

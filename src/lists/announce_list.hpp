@@ -1,0 +1,185 @@
+// U-ALL / RU-ALL: the update announcement linked lists of Section 5.
+//
+// A Harris-style sorted lock-free linked list of AnnCells. The U-ALL is
+// ascending (head sentinel -inf), the RU-ALL descending (head sentinel
+// +inf); both insert a node *after* all cells with an equal key, which for
+// the RU-ALL yields "descending by key, then by insertion order" as the
+// paper requires.
+//
+// Idempotent multi-helper insertion (needed by HelpActivate, l.130): any
+// number of threads may concurrently announce the SAME update node. Each
+// splices its own fresh cell, then tries to claim canonicity with
+//   CAS(node->ann_cell[slot], nullptr, my_cell).
+// Exactly one cell wins; losers immediately mark their cell removed.
+// Traversals only accept a cell c if node->ann_cell[slot] == c, so a
+// spurious (losing) cell is never observed as an announcement. This keeps
+// the paper's crucial ordering invariant — visible U-ALL presence is
+// bracketed by the claim CAS and the removal mark, which the Insert/Delete
+// code orders U-ALL-before-RU-ALL on insertion and on removal (Lemma 5.19
+// depends on removal happening in the U-ALL first).
+//
+// Removal marks use bit 1 of `next` (bit 0 is reserved by AtomicCopyWord,
+// which copies RU-ALL next words into predecessor announcements).
+//
+// Memory: cells come from the owning trie's arena and are never reused,
+// so CAS expected-value comparisons are ABA-free.
+#pragma once
+
+#include <cassert>
+
+#include "core/update_node.hpp"
+#include "sync/arena.hpp"
+#include "sync/stats.hpp"
+
+namespace lfbt {
+
+class AnnounceList {
+ public:
+  static constexpr uintptr_t kMark = 2;
+
+  static AnnCell* strip(uintptr_t w) noexcept {
+    return reinterpret_cast<AnnCell*>(w & ~(kMark | uintptr_t(1)));
+  }
+  static bool marked(uintptr_t w) noexcept { return (w & kMark) != 0; }
+  static uintptr_t pack(AnnCell* c) noexcept { return reinterpret_cast<uintptr_t>(c); }
+
+  /// `slot` selects which UpdateNode::ann_cell entry this list claims
+  /// (kUall or kRuall); `descending` picks the sort order.
+  AnnounceList(NodeArena& arena, int slot, bool descending)
+      : arena_(&arena), slot_(slot), descending_(descending) {
+    head_.key = descending ? kPosInf : kNegInf;
+    tail_.key = descending ? kNegInf : kPosInf;
+    head_.next.store(pack(&tail_));
+  }
+
+  AnnounceList(const AnnounceList&) = delete;
+  AnnounceList& operator=(const AnnounceList&) = delete;
+
+  /// Announce `n`. Safe to call from any number of helpers concurrently;
+  /// after return, n->ann_cell[slot] is non-null (the canonical cell).
+  void insert(UpdateNode* n) {
+    if (n->ann_cell[slot_].load() != nullptr) return;  // already announced
+    auto* cell = arena_->create<AnnCell>();
+    cell->key = n->key;
+    cell->node = n;
+    splice(cell);
+    AnnCell* expected = nullptr;
+    if (!n->ann_cell[slot_].compare_exchange_strong(expected, cell)) {
+      // Another helper's cell is canonical; ours must never be observed as
+      // an announcement (traversals check canonicity) — retire it.
+      mark(cell);
+      unlink(cell);
+    }
+  }
+
+  /// Retract the announcement of `n`. Requires a prior insert (the trie
+  /// always announces before it can complete). Idempotent.
+  void remove(UpdateNode* n) {
+    AnnCell* cell = n->ann_cell[slot_].load();
+    assert(cell != nullptr);
+    mark(cell);
+    unlink(cell);
+  }
+
+  /// Head sentinel (key -inf ascending / +inf descending).
+  AnnCell* head() noexcept { return &head_; }
+  AnnCell* tail() noexcept { return &tail_; }
+
+  /// First cell after `c` that is not marked, not spurious and not a
+  /// sentinel — i.e. the next *visible announcement*; returns the tail
+  /// sentinel when none. (Marked-cell skipping does not unlink here; the
+  /// writer-side search does the physical cleanup.)
+  AnnCell* next_visible(AnnCell* c) const {
+    AnnCell* cur = strip(c->next.load());
+    Stats::count_read();
+    while (cur != &tail_) {
+      uintptr_t w = cur->next.load();
+      Stats::count_read();
+      if (!marked(w) && cur->node->ann_cell[slot_].load() == cur) return cur;
+      cur = strip(w);
+    }
+    return cur;
+  }
+
+  /// Raw next word of `c` (for the RU-ALL atomic-copy traversal).
+  const std::atomic<uintptr_t>* next_word(const AnnCell* c) const noexcept {
+    return &c->next;
+  }
+
+  /// True if `c` currently represents a visible announcement of its node.
+  bool visible(AnnCell* c) const {
+    return c != &head_ && c != &tail_ && !marked(c->next.load()) &&
+           c->node->ann_cell[slot_].load() == c;
+  }
+
+ private:
+  /// key ordering: does `a` precede position of key `k`?
+  bool precedes(Key a, Key k) const noexcept {
+    // Insert after equal keys: strictly-precedes-or-equal keeps advancing.
+    return descending_ ? a >= k : a <= k;
+  }
+
+  /// Harris search: positions (pred, curr) with pred unmarked at read
+  /// time, every key in (pred, curr) strictly "after" k's slot; unlinks
+  /// marked cells on the way.
+  void search(Key k, AnnCell*& pred, AnnCell*& curr) {
+  retry:
+    pred = &head_;
+    uintptr_t pw = pred->next.load();
+    curr = strip(pw);
+    for (;;) {
+      if (curr == &tail_) return;
+      uintptr_t cw = curr->next.load();
+      Stats::count_read();
+      if (marked(cw)) {
+        // Physically unlink curr.
+        uintptr_t expected = pack(curr);
+        bool ok = pred->next.compare_exchange_strong(expected, pack(strip(cw)));
+        Stats::count_cas(ok);
+        if (!ok) goto retry;
+        curr = strip(cw);
+        continue;
+      }
+      if (!precedes(curr->key, k)) return;
+      pred = curr;
+      curr = strip(cw);
+    }
+  }
+
+  void splice(AnnCell* cell) {
+    for (;;) {
+      AnnCell *pred, *curr;
+      search(cell->key, pred, curr);
+      cell->next.store(pack(curr));
+      uintptr_t expected = pack(curr);
+      bool ok = pred->next.compare_exchange_strong(expected, pack(cell));
+      Stats::count_cas(ok);
+      if (ok) return;
+    }
+  }
+
+  void mark(AnnCell* cell) {
+    uintptr_t w = cell->next.load();
+    while (!marked(w)) {
+      if (cell->next.compare_exchange_weak(w, w | kMark)) {
+        Stats::count_cas(true);
+        return;
+      }
+    }
+  }
+
+  /// Best-effort physical removal: one search pass snips marked cells
+  /// around this key (including `cell` unless a concurrent pass did).
+  void unlink(AnnCell* cell) {
+    AnnCell *pred, *curr;
+    search(cell->key, pred, curr);
+  }
+
+  NodeArena* arena_;
+  const int slot_;
+  const bool descending_;
+  AnnCell head_;
+  AnnCell tail_;
+};
+
+}  // namespace lfbt

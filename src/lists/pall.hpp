@@ -1,0 +1,142 @@
+// P-ALL: the predecessor announcement linked list of Section 5, plus the
+// insert-only notify lists hanging off each predecessor node.
+//
+// The P-ALL is an unsorted lock-free list with LIFO insertion at the head
+// and mark-based removal (mark bit 0 of the intrusive `pall_next` hook).
+// Removed nodes stay traversable — the paper's PredHelper deliberately
+// walks `next` chains that may pass through retired announcements (its Q
+// sequence), and DEL nodes keep `delPredNode` references to completed
+// embedded predecessors. Nodes are arena-managed, so this is safe; marked
+// nodes are physically snipped opportunistically to keep traversals short.
+#pragma once
+
+#include <cstdint>
+
+#include "core/update_node.hpp"
+#include "sync/stats.hpp"
+
+namespace lfbt {
+
+class PAll {
+ public:
+  static constexpr uintptr_t kMark = 1;
+
+  static PredecessorNode* strip(uintptr_t w) noexcept {
+    return reinterpret_cast<PredecessorNode*>(w & ~kMark);
+  }
+  static bool marked(uintptr_t w) noexcept { return (w & kMark) != 0; }
+  static uintptr_t pack(PredecessorNode* n) noexcept {
+    return reinterpret_cast<uintptr_t>(n);
+  }
+
+  /// Push `n` at the head (paper l.209: announcements go to the front).
+  void push(PredecessorNode* n) {
+    // The head word itself is never marked; only node hooks are.
+    uintptr_t h = head_.load();
+    do {
+      n->pall_next.store(h);
+    } while (!head_.compare_exchange_weak(h, pack(n)));
+    Stats::count_cas(true);
+  }
+
+  /// Logically remove `n` (mark); then best-effort physical unlink.
+  void remove(PredecessorNode* n) {
+    uintptr_t w = n->pall_next.load();
+    while (!marked(w)) {
+      if (n->pall_next.compare_exchange_weak(w, w | kMark)) break;
+    }
+    snip(n);
+  }
+
+  /// First node in the list, including logically removed ones (raw chain
+  /// traversal, as used for the paper's Q sequence).
+  PredecessorNode* first_raw() const {
+    return strip(head_.load());
+  }
+
+  /// Raw successor in the chain (marked nodes included).
+  static PredecessorNode* next_raw(PredecessorNode* n) {
+    return strip(n->pall_next.load());
+  }
+
+  /// First *live* (unmarked) node at or after `n`; used by notifiers,
+  /// which only need to reach announcements that are still active.
+  PredecessorNode* first_live() const {
+    PredecessorNode* n = first_raw();
+    while (n != nullptr && marked(n->pall_next.load())) n = next_raw(n);
+    return n;
+  }
+  static PredecessorNode* next_live(PredecessorNode* n) {
+    n = next_raw(n);
+    while (n != nullptr && marked(n->pall_next.load())) n = next_raw(n);
+    return n;
+  }
+
+  static bool is_removed(const PredecessorNode* n) {
+    return marked(n->pall_next.load());
+  }
+
+ private:
+  /// Physically unlink marked nodes on the path to `target` (and any other
+  /// marked nodes encountered). Best effort: a failed CAS just leaves the
+  /// node for the next pass.
+  void snip(PredecessorNode* target) {
+    // Unlink from the head first if applicable.
+    for (;;) {
+      uintptr_t h = head_.load();
+      PredecessorNode* first = strip(h);
+      if (first == nullptr) return;
+      uintptr_t fw = first->pall_next.load();
+      if (!marked(fw)) break;
+      if (head_.compare_exchange_strong(h, fw & ~kMark)) {
+        Stats::count_cas(true);
+        if (first == target) return;
+        continue;
+      }
+    }
+    PredecessorNode* pred = first_raw();
+    while (pred != nullptr) {
+      uintptr_t pw = pred->pall_next.load();
+      PredecessorNode* cur = strip(pw);
+      if (cur == nullptr) return;
+      uintptr_t cw = cur->pall_next.load();
+      if (marked(cw) && !marked(pw)) {
+        // pred live, cur marked: snip cur.
+        uintptr_t expected = pw;
+        pred->pall_next.compare_exchange_strong(expected, cw & ~kMark);
+        continue;  // re-examine pred's new successor
+      }
+      pred = cur;
+    }
+  }
+
+  std::atomic<uintptr_t> head_{0};
+};
+
+/// Insert-only notification list (paper SendNotification, l.156–161 —
+/// minus the FirstActivated gate, which the trie applies at the call
+/// site because it owns the update-node semantics).
+class NotifyList {
+ public:
+  /// Publishes nNode at the head of pNode's list. `validate` is evaluated
+  /// after linking nNode->next and immediately before the CAS; if it
+  /// returns false the push is abandoned (paper l.160) and false returned.
+  template <class Validate>
+  static bool push(PredecessorNode* p, NotifyNode* n, Validate&& validate) {
+    for (;;) {
+      NotifyNode* head = p->notify_head.load();
+      n->next = head;
+      if (!validate()) return false;
+      NotifyNode* expected = head;
+      bool ok = p->notify_head.compare_exchange_strong(expected, n);
+      Stats::count_cas(ok);
+      if (ok) return true;
+    }
+  }
+
+  static NotifyNode* head(const PredecessorNode* p) {
+    return p->notify_head.load();
+  }
+};
+
+}  // namespace lfbt

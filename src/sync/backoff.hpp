@@ -1,0 +1,43 @@
+// Truncated exponential backoff for CAS retry loops.
+//
+// Backoff does not affect lock-freedom (a backing-off thread still takes
+// steps); it reduces cache-line ping-pong under contention. On a
+// single-core host it additionally yields to let the conflicting thread
+// run, which is what actually resolves CAS failures there.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+namespace lfbt {
+
+class Backoff {
+ public:
+  explicit Backoff(uint32_t min_spins = 4, uint32_t max_spins = 1024)
+      : limit_(min_spins), max_(max_spins) {}
+
+  void operator()() noexcept {
+    if (limit_ >= max_) {
+      // Contention persists: hand the core to whoever holds the cache line.
+      std::this_thread::yield();
+      return;
+    }
+    for (uint32_t i = 0; i < limit_; ++i) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#else
+      std::this_thread::yield();
+      break;
+#endif
+    }
+    limit_ *= 2;
+  }
+
+  void reset(uint32_t min_spins = 4) noexcept { limit_ = min_spins; }
+
+ private:
+  uint32_t limit_;
+  uint32_t max_;
+};
+
+}  // namespace lfbt

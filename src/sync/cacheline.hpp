@@ -1,0 +1,35 @@
+// Cache-line utilities: padding wrappers used to keep hot shared words on
+// their own lines and avoid false sharing between per-thread slots.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+
+namespace lfbt {
+
+// Fixed at 64 (universal for x86-64 and common ARM cores); using
+// std::hardware_destructive_interference_size would make the value part of
+// the ABI vary with tuning flags.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// A value padded out to occupy (at least) a full cache line.
+template <class T>
+struct alignas(kCacheLine) Padded {
+  T value{};
+  char pad_[kCacheLine > sizeof(T) ? kCacheLine - sizeof(T) : 1];
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+/// An atomic padded to a full cache line.
+template <class T>
+struct alignas(kCacheLine) PaddedAtomic {
+  std::atomic<T> value{};
+  char pad_[kCacheLine > sizeof(std::atomic<T>) ? kCacheLine - sizeof(std::atomic<T>) : 1];
+};
+
+}  // namespace lfbt

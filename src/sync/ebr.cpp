@@ -1,0 +1,113 @@
+#include "sync/ebr.hpp"
+
+#include <array>
+
+namespace lfbt::ebr {
+namespace {
+
+constexpr uint64_t kIdle = ~0ull;
+constexpr int kCollectEvery = 64;
+
+struct Retired {
+  void* ptr;
+  void (*deleter)(void*);
+  uint64_t epoch;
+};
+
+struct alignas(kCacheLine) ThreadState {
+  std::atomic<uint64_t> local_epoch{kIdle};  // kIdle when outside guards
+  int nesting = 0;                           // owner-thread only
+  int since_collect = 0;                     // owner-thread only
+  std::vector<Retired> limbo;                // owner-thread only
+};
+
+std::atomic<uint64_t> g_epoch{1};
+std::array<ThreadState, kMaxThreads> g_threads;
+std::atomic<std::size_t> g_pending{0};
+
+ThreadState& self() { return g_threads[ThreadRegistry::id()]; }
+
+/// Smallest epoch announced by any thread inside a critical section, or
+/// the global epoch if none is.
+uint64_t min_announced() {
+  uint64_t min = g_epoch.load(std::memory_order_acquire);
+  const int n = ThreadRegistry::high_water();
+  for (int i = 0; i < n; ++i) {
+    uint64_t e = g_threads[i].local_epoch.load(std::memory_order_acquire);
+    if (e != kIdle && e < min) min = e;
+  }
+  return min;
+}
+
+void try_advance() {
+  uint64_t e = g_epoch.load(std::memory_order_acquire);
+  if (min_announced() == e) {
+    g_epoch.compare_exchange_strong(e, e + 1, std::memory_order_acq_rel);
+  }
+}
+
+void sweep(ThreadState& ts) {
+  // Nodes retired in epoch r are safe once every reader has announced an
+  // epoch > r, i.e. min_announced() >= r + 2 (readers announced at r may
+  // still hold references acquired in r; one full epoch in between makes
+  // the grace period airtight).
+  const uint64_t safe_before = min_announced();
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < ts.limbo.size(); ++i) {
+    Retired& r = ts.limbo[i];
+    if (r.epoch + 2 <= safe_before) {
+      r.deleter(r.ptr);
+      g_pending.fetch_sub(1, std::memory_order_relaxed);
+    } else {
+      ts.limbo[kept++] = r;
+    }
+  }
+  ts.limbo.resize(kept);
+}
+
+}  // namespace
+
+Guard::Guard() {
+  ThreadState& ts = self();
+  if (ts.nesting++ == 0) {
+    // seq_cst publish so retiring threads cannot miss us.
+    ts.local_epoch.store(g_epoch.load(std::memory_order_acquire),
+                         std::memory_order_seq_cst);
+  }
+}
+
+Guard::~Guard() {
+  ThreadState& ts = self();
+  if (--ts.nesting == 0) {
+    ts.local_epoch.store(kIdle, std::memory_order_release);
+  }
+}
+
+void retire(void* ptr, void (*deleter)(void*)) {
+  ThreadState& ts = self();
+  ts.limbo.push_back({ptr, deleter, g_epoch.load(std::memory_order_acquire)});
+  g_pending.fetch_add(1, std::memory_order_relaxed);
+  if (++ts.since_collect >= kCollectEvery) {
+    ts.since_collect = 0;
+    collect();
+  }
+}
+
+void collect() {
+  try_advance();
+  sweep(self());
+}
+
+void drain_unsafe() {
+  for (auto& ts : g_threads) {
+    for (Retired& r : ts.limbo) {
+      r.deleter(r.ptr);
+      g_pending.fetch_sub(1, std::memory_order_relaxed);
+    }
+    ts.limbo.clear();
+  }
+}
+
+std::size_t pending() { return g_pending.load(std::memory_order_relaxed); }
+
+}  // namespace lfbt::ebr

@@ -1,0 +1,51 @@
+// Epoch-based memory reclamation (EBR).
+//
+// Classic three-epoch scheme (Fraser): threads enter a read-side critical
+// section by publishing the global epoch; retired nodes are stamped with
+// the epoch at retirement and freed once every in-critical-section thread
+// has observed a later epoch (two epoch advances = grace period).
+//
+// Used by the baseline lock-free structures (skip list, Harris list,
+// copy-on-write universal set) to run with bounded memory. The trie itself
+// uses the per-structure arena instead (see DESIGN.md) because the paper's
+// algorithm keeps long-lived references to logically retired nodes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "sync/cacheline.hpp"
+#include "sync/thread_registry.hpp"
+
+namespace lfbt::ebr {
+
+/// RAII read-side critical section. Nested guards are supported.
+class Guard {
+ public:
+  Guard();
+  ~Guard();
+  Guard(const Guard&) = delete;
+  Guard& operator=(const Guard&) = delete;
+};
+
+/// Defers `deleter(ptr)` until no guard that predates this call is live.
+void retire(void* ptr, void (*deleter)(void*));
+
+template <class T>
+void retire(T* ptr) {
+  retire(ptr, [](void* p) { delete static_cast<T*>(p); });
+}
+
+/// Best-effort: advance epochs and free what is safe. Called automatically
+/// every few retirements; exposed for tests and shutdown.
+void collect();
+
+/// Frees everything unconditionally. Only call when no concurrent guards
+/// exist (e.g. test teardown after joining all threads).
+void drain_unsafe();
+
+/// Number of nodes currently awaiting reclamation (approximate).
+std::size_t pending();
+
+}  // namespace lfbt::ebr

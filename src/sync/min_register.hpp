@@ -1,0 +1,55 @@
+// Bounded min-register, the paper's non-CAS primitive.
+//
+// A (b+1)-bounded min-register stores a value in {0, ..., b+1} and supports
+//   Read()        -> current value
+//   MinWrite(w)   -> value = min(value, w)
+//
+// The paper (Section 1) observes that a min-write on a (b+1)-bit memory
+// location can be implemented with a single (b+1)-bit AND: represent value
+// v as the mask 2^v - 1 (v low ones); then
+//   MinWrite(w)  ==  fetch_and(2^w - 1)      (mask intersection)
+//   Read()       ==  popcount(mask)
+// because (2^v - 1) & (2^w - 1) = 2^min(v,w) - 1. This is exactly what we
+// do, so MinWrite is a single hardware atomic AND — wait-free, O(1).
+//
+// Bound: values up to 64 (universe keys up to 2^63), which covers every
+// practical trie height.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace lfbt {
+
+class MinRegister {
+ public:
+  /// Constructs with initial value `v` (the paper initialises
+  /// lower1Boundary to b+1).
+  explicit MinRegister(uint32_t v = 64) : mask_(mask_of(v)) {}
+
+  uint32_t read(std::memory_order order = std::memory_order_acquire) const noexcept {
+    return static_cast<uint32_t>(std::popcount(mask_.load(order)));
+  }
+
+  /// value = min(value, w). Single atomic AND.
+  void min_write(uint32_t w,
+                 std::memory_order order = std::memory_order_acq_rel) noexcept {
+    mask_.fetch_and(mask_of(w), order);
+  }
+
+  /// Reset for reuse (NOT safe concurrently with min_write/read).
+  void reset(uint32_t v) noexcept { mask_.store(mask_of(v), std::memory_order_relaxed); }
+
+ private:
+  static constexpr uint64_t mask_of(uint32_t v) noexcept {
+    assert(v <= 64);
+    return v >= 64 ? ~0ull : ((1ull << v) - 1);
+  }
+  std::atomic<uint64_t> mask_;
+};
+
+static_assert(sizeof(MinRegister) == sizeof(uint64_t));
+
+}  // namespace lfbt

@@ -1,0 +1,56 @@
+// Small, fast per-thread PRNG (xoshiro256**) used by workloads and the
+// skip-list tower generator. Deterministic given a seed, which the tests
+// rely on for reproducibility.
+#pragma once
+
+#include <cstdint>
+
+namespace lfbt {
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(uint64_t seed) noexcept {
+    // splitmix64 expansion of the seed into the four lanes.
+    for (auto& lane : s_) {
+      seed += 0x9e3779b97f4a7c15ull;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      lane = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t next() noexcept {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  uint64_t bounded(uint64_t bound) noexcept {
+    // Lemire's multiply-shift rejection-free approximation is fine here:
+    // workloads tolerate the ~2^-64 bias.
+    return static_cast<uint64_t>((static_cast<__uint128_t>(next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr uint64_t rotl(uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+}  // namespace lfbt

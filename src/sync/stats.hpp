@@ -1,0 +1,80 @@
+// Cheap per-thread operation-step counters.
+//
+// Used by experiment E5 to validate the paper's amortized step-complexity
+// claims: we count shared-memory reads, CAS attempts, successful CASes and
+// min-writes performed inside trie operations. Counting is thread-local
+// (no synchronisation on the hot path) and aggregated on demand.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "sync/cacheline.hpp"
+#include "sync/thread_registry.hpp"
+
+namespace lfbt {
+
+struct StepCounts {
+  uint64_t reads = 0;
+  uint64_t cas_attempts = 0;
+  uint64_t cas_successes = 0;
+  uint64_t min_writes = 0;
+  uint64_t helps = 0;        // HelpActivate invocations that did work
+  uint64_t trie_restarts = 0;
+
+  StepCounts& operator+=(const StepCounts& o) noexcept {
+    reads += o.reads;
+    cas_attempts += o.cas_attempts;
+    cas_successes += o.cas_successes;
+    min_writes += o.min_writes;
+    helps += o.helps;
+    trie_restarts += o.trie_restarts;
+    return *this;
+  }
+  StepCounts operator-(const StepCounts& o) const noexcept {
+    StepCounts r = *this;
+    r.reads -= o.reads;
+    r.cas_attempts -= o.cas_attempts;
+    r.cas_successes -= o.cas_successes;
+    r.min_writes -= o.min_writes;
+    r.helps -= o.helps;
+    r.trie_restarts -= o.trie_restarts;
+    return r;
+  }
+  uint64_t total() const noexcept {
+    return reads + cas_attempts + min_writes;
+  }
+};
+
+class Stats {
+ public:
+  static StepCounts& local() { return slots_[ThreadRegistry::id()].value; }
+
+  static void count_read(uint64_t n = 1) { local().reads += n; }
+  static void count_cas(bool success) {
+    auto& s = local();
+    ++s.cas_attempts;
+    if (success) ++s.cas_successes;
+  }
+  static void count_min_write() { ++local().min_writes; }
+  static void count_help() { ++local().helps; }
+
+  /// Sum over all thread slots. Safe to call while threads run (values are
+  /// monotone; the result is a consistent-enough snapshot for reporting).
+  static StepCounts aggregate() {
+    StepCounts total;
+    for (int i = 0; i < kMaxThreads; ++i) total += slots_[i].value;
+    return total;
+  }
+
+  /// Zero all slots. Only call while no instrumented code runs.
+  static void reset() {
+    for (int i = 0; i < kMaxThreads; ++i) slots_[i].value = StepCounts{};
+  }
+
+ private:
+  static inline std::array<Padded<StepCounts>, kMaxThreads> slots_{};
+};
+
+}  // namespace lfbt

@@ -1,0 +1,29 @@
+// Process-wide registry handing out small dense thread ids.
+//
+// Lock-free structures need a bounded per-thread slot (arena chunks, EBR
+// epochs, stats). Slots are recycled when threads exit, so long test runs
+// that spawn thousands of short-lived threads stay within kMaxThreads
+// concurrently-live slots.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace lfbt {
+
+inline constexpr int kMaxThreads = 256;
+
+class ThreadRegistry {
+ public:
+  /// Dense id of the calling thread in [0, kMaxThreads). Registers lazily.
+  static int id();
+
+  /// Number of slots ever claimed simultaneously (upper bound on live ids).
+  static int high_water();
+
+ private:
+  friend struct ThreadSlotReleaser;
+  static void release(int id);
+};
+
+}  // namespace lfbt

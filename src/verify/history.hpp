@@ -1,0 +1,61 @@
+// Concurrent-history recording for linearizability checking.
+//
+// Invocation/response timestamps come from one global atomic counter, so
+// the recorded partial order is consistent with real time: if op A's
+// response ticket precedes op B's invocation ticket, A really happened
+// before B.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+#include "workload/workload.hpp"
+
+namespace lfbt {
+
+struct RecordedOp {
+  OpKind kind;
+  Key key;
+  uint64_t inv = 0;
+  uint64_t res = 0;
+  /// contains: 0/1; predecessor: the returned key (or kNoKey); updates: 0.
+  int64_t ret = 0;
+};
+
+class HistoryClock {
+ public:
+  uint64_t tick() { return clock_.fetch_add(1, std::memory_order_acq_rel); }
+
+ private:
+  std::atomic<uint64_t> clock_{1};
+};
+
+/// Runs one op against `set`, recording it into `out`.
+template <class Set>
+void recorded_apply(Set& set, OpKind kind, Key key, HistoryClock& clock,
+                    std::vector<RecordedOp>& out) {
+  RecordedOp rec;
+  rec.kind = kind;
+  rec.key = key;
+  rec.inv = clock.tick();
+  switch (kind) {
+    case OpKind::kInsert:
+      set.insert(key);
+      break;
+    case OpKind::kErase:
+      set.erase(key);
+      break;
+    case OpKind::kContains:
+      rec.ret = set.contains(key) ? 1 : 0;
+      break;
+    case OpKind::kPredecessor:
+      rec.ret = set.predecessor(key);
+      break;
+  }
+  rec.res = clock.tick();
+  out.push_back(rec);
+}
+
+}  // namespace lfbt

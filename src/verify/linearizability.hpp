@@ -1,0 +1,135 @@
+// Wing–Gong linearizability checker for the dynamic-set-with-predecessor
+// abstract data type over a small universe (u <= 64, state = one bitmask).
+//
+// Exhaustive DFS over linearization orders with the standard pruning:
+// only "minimal" operations (not real-time-preceded by an unlinearized
+// op) may be linearized next, and visited (linearized-set, state) pairs
+// are memoized (Lowe-style caching). Exponential in the worst case but
+// fast on the bounded-window histories our stress tests produce.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "verify/history.hpp"
+
+namespace lfbt {
+
+/// Predecessor of y in the bitmask state (keys 0..63).
+inline Key bitmask_predecessor(uint64_t state, Key y) {
+  const uint64_t below = y >= 64 ? state : state & ((y <= 0) ? 0 : ((uint64_t{1} << y) - 1));
+  if (below == 0) return kNoKey;
+  return 63 - static_cast<Key>(__builtin_clzll(below));
+}
+
+class LinearizabilityChecker {
+ public:
+  /// True iff `history` has a linearization starting from `init_state`.
+  /// All keys must be < 64.
+  static bool check(std::vector<RecordedOp> history, uint64_t init_state) {
+    LinearizabilityChecker c(std::move(history), init_state);
+    return c.search();
+  }
+
+ private:
+  LinearizabilityChecker(std::vector<RecordedOp> history, uint64_t init_state)
+      : ops_(std::move(history)), init_state_(init_state) {
+    words_ = (ops_.size() + 63) / 64;
+  }
+
+  struct Frame {
+    std::vector<uint64_t> done;  // bitset of linearized op indices
+    uint64_t state;
+    std::size_t next_candidate;  // resume index for iterative DFS
+  };
+
+  struct MemoKey {
+    std::vector<uint64_t> done;
+    uint64_t state;
+    bool operator==(const MemoKey& o) const {
+      return state == o.state && done == o.done;
+    }
+  };
+  struct MemoHash {
+    std::size_t operator()(const MemoKey& k) const {
+      uint64_t h = k.state * 0x9e3779b97f4a7c15ull;
+      for (uint64_t w : k.done) {
+        h ^= w + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  bool is_done(const std::vector<uint64_t>& done, std::size_t i) const {
+    return (done[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Can op i be linearized next? No unlinearized op may have responded
+  /// before i's invocation.
+  bool minimal(const std::vector<uint64_t>& done, std::size_t i) const {
+    for (std::size_t j = 0; j < ops_.size(); ++j) {
+      if (j == i || is_done(done, j)) continue;
+      if (ops_[j].res < ops_[i].inv) return false;
+    }
+    return true;
+  }
+
+  /// Applies op i to `state`; returns false if the recorded return value
+  /// is impossible in that state.
+  static bool apply(const RecordedOp& op, uint64_t& state) {
+    const uint64_t bit = uint64_t{1} << op.key;
+    switch (op.kind) {
+      case OpKind::kInsert:
+        state |= bit;
+        return true;
+      case OpKind::kErase:
+        state &= ~bit;
+        return true;
+      case OpKind::kContains:
+        return op.ret == static_cast<int64_t>((state >> op.key) & 1);
+      case OpKind::kPredecessor:
+        return op.ret == bitmask_predecessor(state, op.key);
+    }
+    return false;
+  }
+
+  bool search() {
+    std::unordered_set<MemoKey, MemoHash, std::equal_to<MemoKey>> visited;
+    std::vector<Frame> stack;
+    stack.push_back({std::vector<uint64_t>(words_, 0), init_state_, 0});
+    const std::size_t n = ops_.size();
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      // Completed linearization?
+      std::size_t count = 0;
+      for (uint64_t w : f.done) count += static_cast<std::size_t>(__builtin_popcountll(w));
+      if (count == n) return true;
+      bool descended = false;
+      for (std::size_t i = f.next_candidate; i < n; ++i) {
+        if (is_done(f.done, i) || !minimal(f.done, i)) continue;
+        uint64_t next_state = f.state;
+        if (!apply(ops_[i], next_state)) continue;
+        Frame child;
+        child.done = f.done;
+        child.done[i >> 6] |= uint64_t{1} << (i & 63);
+        child.state = next_state;
+        child.next_candidate = 0;
+        MemoKey mk{child.done, child.state};
+        f.next_candidate = i + 1;  // resume here on backtrack
+        if (!visited.insert(std::move(mk)).second) continue;  // seen
+        stack.push_back(std::move(child));
+        descended = true;
+        break;
+      }
+      if (!descended) stack.pop_back();
+    }
+    return false;
+  }
+
+  std::vector<RecordedOp> ops_;
+  uint64_t init_state_;
+  std::size_t words_ = 0;
+};
+
+}  // namespace lfbt

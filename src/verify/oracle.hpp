@@ -1,0 +1,107 @@
+// Single-writer interval oracle.
+//
+// When exactly one thread mutates the set, its program order *is* the
+// linearization order of updates, so the abstract state timeline is known
+// exactly between writer operations. Reader threads record
+// (t1, query, answer, t2) tuples; a query is correct iff its answer
+// matches the predecessor in some state version whose possible lifetime
+// overlaps (t1, t2).
+//
+// Version j (the state after writer op j) is possibly live from inv_j
+// (earliest linearization of op j) until res_{j+1} (latest linearization
+// of op j+1), so the check is sound: it never reports a violation for a
+// linearizable execution. It is also tight enough to catch real bugs —
+// a predecessor answer that was never valid in any overlapping version is
+// a definite linearizability violation.
+//
+// Universe <= 64 (bitmask states), same as the Wing–Gong checker.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "verify/history.hpp"
+#include "verify/linearizability.hpp"
+
+namespace lfbt {
+
+class SingleWriterOracle {
+ public:
+  struct Version {
+    uint64_t inv;    // invocation ticket of the op creating this state
+    uint64_t res;    // response ticket of that op
+    uint64_t state;  // bitmask after the op
+  };
+
+  struct Query {
+    uint64_t t1;
+    Key y;
+    Key answer;
+    uint64_t t2;
+  };
+
+  explicit SingleWriterOracle(uint64_t initial_state = 0) {
+    versions_.push_back({0, 0, initial_state});
+  }
+
+  /// Writer only: perform `kind`(key) on `set` and record the new state.
+  template <class Set>
+  void writer_apply(Set& set, OpKind kind, Key key, HistoryClock& clock) {
+    Version v;
+    v.inv = clock.tick();
+    if (kind == OpKind::kInsert) {
+      set.insert(key);
+    } else {
+      set.erase(key);
+    }
+    v.res = clock.tick();
+    v.state = versions_.back().state;
+    if (kind == OpKind::kInsert) {
+      v.state |= uint64_t{1} << key;
+    } else {
+      v.state &= ~(uint64_t{1} << key);
+    }
+    versions_.push_back(v);
+  }
+
+  /// Any reader thread: run predecessor and log the query (thread-local
+  /// vector supplied by caller; merge after joining).
+  template <class Set>
+  static void reader_query(Set& set, Key y, HistoryClock& clock,
+                           std::vector<Query>& out) {
+    Query q;
+    q.t1 = clock.tick();
+    q.y = y;
+    q.answer = set.predecessor(y);
+    q.t2 = clock.tick();
+    out.push_back(q);
+  }
+
+  /// Post-join validation. Returns the index of the first invalid query,
+  /// or -1 if all are consistent with some overlapping version.
+  std::ptrdiff_t validate(const std::vector<Query>& queries) const {
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+      if (!query_ok(queries[qi])) return static_cast<std::ptrdiff_t>(qi);
+    }
+    return -1;
+  }
+
+  bool query_ok(const Query& q) const {
+    for (std::size_t j = 0; j < versions_.size(); ++j) {
+      // Version j possibly live in (live_from, live_until).
+      const uint64_t live_from = versions_[j].inv;
+      const uint64_t live_until =
+          j + 1 < versions_.size() ? versions_[j + 1].res : ~uint64_t{0};
+      if (live_from >= q.t2 || q.t1 >= live_until) continue;
+      if (bitmask_predecessor(versions_[j].state, q.y) == q.answer) return true;
+    }
+    return false;
+  }
+
+  const std::vector<Version>& versions() const { return versions_; }
+
+ private:
+  std::vector<Version> versions_;
+};
+
+}  // namespace lfbt

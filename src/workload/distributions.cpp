@@ -1,0 +1,56 @@
+#include "workload/distributions.hpp"
+
+#include <cmath>
+
+namespace lfbt {
+namespace {
+
+/// zeta(n, theta) = sum_{i=1..n} 1/i^theta, approximated for large n by
+/// the integral (exact sum for the first 10k terms keeps the head, which
+/// dominates, accurate).
+double zeta(uint64_t n, double theta) {
+  const uint64_t head = n < 10000 ? n : 10000;
+  double sum = 0;
+  for (uint64_t i = 1; i <= head; ++i) sum += 1.0 / std::pow(double(i), theta);
+  if (n > head) {
+    // integral of x^-theta from head to n
+    sum += (std::pow(double(n), 1 - theta) - std::pow(double(head), 1 - theta)) /
+           (1 - theta);
+  }
+  return sum;
+}
+
+/// Multiplicative (Fibonacci) hash scattering rank -> key.
+uint64_t scatter(uint64_t rank, uint64_t range) {
+  return (rank * 0x9e3779b97f4a7c15ull) % range;
+}
+
+}  // namespace
+
+ZipfDist::ZipfDist(Key range, double theta) : range_(range), theta_(theta) {
+  const auto n = static_cast<uint64_t>(range);
+  zetan_ = zeta(n, theta);
+  zeta2_ = zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / double(n), 1.0 - theta)) / (1.0 - zeta2_ / zetan_);
+}
+
+Key ZipfDist::sample(Xoshiro256& rng) {
+  // Gray et al. analytic inverse-CDF approximation (as used by YCSB).
+  const auto n = static_cast<uint64_t>(range_);
+  const double u = rng.uniform01();
+  const double uz = u * zetan_;
+  uint64_t rank;
+  if (uz < 1.0) {
+    rank = 0;
+  } else if (uz < 1.0 + std::pow(0.5, theta_)) {
+    rank = 1;
+  } else {
+    rank = static_cast<uint64_t>(double(n) *
+                                 std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    if (rank >= n) rank = n - 1;
+  }
+  return static_cast<Key>(scatter(rank, n));
+}
+
+}  // namespace lfbt

@@ -1,0 +1,92 @@
+// Workload specification: operation mixes and per-thread deterministic
+// operation streams over a key distribution.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/types.hpp"
+#include "workload/distributions.hpp"
+
+namespace lfbt {
+
+enum class OpKind : uint8_t { kInsert, kErase, kContains, kPredecessor };
+
+/// Percentages; must sum to 100.
+struct OpMix {
+  int insert_pct = 25;
+  int erase_pct = 25;
+  int contains_pct = 25;
+  int predecessor_pct = 25;
+
+  std::string name() const {
+    return "i" + std::to_string(insert_pct) + "/d" + std::to_string(erase_pct) +
+           "/s" + std::to_string(contains_pct) + "/p" +
+           std::to_string(predecessor_pct);
+  }
+};
+
+inline constexpr OpMix kUpdateHeavy{50, 50, 0, 0};
+inline constexpr OpMix kSearchHeavy{10, 10, 80, 0};
+inline constexpr OpMix kPredHeavy{20, 20, 0, 60};
+inline constexpr OpMix kBalanced{25, 25, 25, 25};
+
+struct Op {
+  OpKind kind;
+  Key key;
+};
+
+/// Deterministic per-thread operation stream.
+class OpStream {
+ public:
+  OpStream(const OpMix& mix, KeyDistribution& dist, uint64_t seed)
+      : mix_(mix), dist_(&dist), rng_(seed) {
+    assert(mix.insert_pct + mix.erase_pct + mix.contains_pct +
+               mix.predecessor_pct ==
+           100);
+  }
+
+  Op next() {
+    const auto roll = static_cast<int>(rng_.bounded(100));
+    OpKind kind;
+    if (roll < mix_.insert_pct) {
+      kind = OpKind::kInsert;
+    } else if (roll < mix_.insert_pct + mix_.erase_pct) {
+      kind = OpKind::kErase;
+    } else if (roll < mix_.insert_pct + mix_.erase_pct + mix_.contains_pct) {
+      kind = OpKind::kContains;
+    } else {
+      kind = OpKind::kPredecessor;
+    }
+    return {kind, dist_->sample(rng_)};
+  }
+
+ private:
+  OpMix mix_;
+  KeyDistribution* dist_;
+  Xoshiro256 rng_;
+};
+
+/// Applies one op to any set implementing the common concept. The returned
+/// value is the op's observable result (for contains/predecessor) and is
+/// folded into a sink by callers so the compiler cannot elide work.
+template <class Set>
+inline uint64_t apply_op(Set& set, const Op& op) {
+  switch (op.kind) {
+    case OpKind::kInsert:
+      set.insert(op.key);
+      return 1;
+    case OpKind::kErase:
+      set.erase(op.key);
+      return 2;
+    case OpKind::kContains:
+      return set.contains(op.key) ? 3 : 4;
+    case OpKind::kPredecessor:
+      return static_cast<uint64_t>(set.predecessor(op.key) + 2);
+  }
+  return 0;
+}
+
+}  // namespace lfbt

@@ -1,0 +1,169 @@
+#include "lists/announce_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "sync/arena.hpp"
+
+namespace lfbt {
+namespace {
+
+UpdateNode* make_node(NodeArena& arena, Key k, bool active = true) {
+  auto* n = arena.create<UpdateNode>(k, NodeType::kIns);
+  if (active) n->status.store(UpdateNode::kActive);
+  return n;
+}
+
+std::vector<Key> visible_keys(AnnounceList& list) {
+  std::vector<Key> out;
+  for (AnnCell* c = list.next_visible(list.head()); c != list.tail();
+       c = list.next_visible(c)) {
+    out.push_back(c->key);
+  }
+  return out;
+}
+
+TEST(AnnounceList, AscendingInsertKeepsSortedOrder) {
+  NodeArena arena;
+  AnnounceList list(arena, kUall, /*descending=*/false);
+  for (Key k : {5, 1, 9, 3, 7}) list.insert(make_node(arena, k));
+  EXPECT_EQ(visible_keys(list), (std::vector<Key>{1, 3, 5, 7, 9}));
+}
+
+TEST(AnnounceList, DescendingInsertKeepsReverseOrder) {
+  NodeArena arena;
+  AnnounceList list(arena, kRuall, /*descending=*/true);
+  for (Key k : {5, 1, 9, 3, 7}) list.insert(make_node(arena, k));
+  EXPECT_EQ(visible_keys(list), (std::vector<Key>{9, 7, 5, 3, 1}));
+}
+
+TEST(AnnounceList, EqualKeysOrderedByInsertionTime) {
+  // The paper: a node is added *after* every node with the same key (both
+  // lists), giving insertion order among equals.
+  NodeArena arena;
+  AnnounceList asc(arena, kUall, false);
+  AnnounceList desc(arena, kRuall, true);
+  UpdateNode* first = make_node(arena, 4);
+  UpdateNode* second = make_node(arena, 4);
+  asc.insert(first);
+  asc.insert(second);
+  EXPECT_EQ(asc.next_visible(asc.head())->node, first);
+  desc.insert(first);
+  desc.insert(second);
+  EXPECT_EQ(desc.next_visible(desc.head())->node, first);
+}
+
+TEST(AnnounceList, RemoveHidesNode) {
+  NodeArena arena;
+  AnnounceList list(arena, kUall, false);
+  UpdateNode* a = make_node(arena, 1);
+  UpdateNode* b = make_node(arena, 2);
+  list.insert(a);
+  list.insert(b);
+  list.remove(a);
+  EXPECT_EQ(visible_keys(list), (std::vector<Key>{2}));
+  list.remove(b);
+  EXPECT_TRUE(visible_keys(list).empty());
+}
+
+TEST(AnnounceList, RemoveIsIdempotent) {
+  NodeArena arena;
+  AnnounceList list(arena, kUall, false);
+  UpdateNode* a = make_node(arena, 1);
+  list.insert(a);
+  list.remove(a);
+  list.remove(a);  // helper + owner both retract
+  EXPECT_TRUE(visible_keys(list).empty());
+}
+
+TEST(AnnounceList, MultiHelperInsertYieldsOneVisibleAnnouncement) {
+  // HelpActivate means several threads may announce the SAME node. Exactly
+  // one cell may ever be visible, no matter the interleaving.
+  for (int round = 0; round < 100; ++round) {
+    NodeArena arena;
+    AnnounceList list(arena, kUall, false);
+    UpdateNode* n = make_node(arena, 42);
+    constexpr int kHelpers = 6;
+    std::vector<std::thread> ts;
+    std::atomic<bool> go{false};
+    for (int t = 0; t < kHelpers; ++t) {
+      ts.emplace_back([&] {
+        while (!go.load()) {
+        }
+        list.insert(n);
+      });
+    }
+    go = true;
+    for (auto& t : ts) t.join();
+    auto keys = visible_keys(list);
+    ASSERT_EQ(keys.size(), 1u) << "round " << round;
+    EXPECT_EQ(keys[0], 42);
+    EXPECT_EQ(n->ann_cell[kUall].load()->node, n);
+    list.remove(n);
+    EXPECT_TRUE(visible_keys(list).empty());
+  }
+}
+
+TEST(AnnounceList, SpuriousCellsAreNeverVisibleAfterRemove) {
+  // Insert with racing helpers, then remove; re-traversals must never
+  // resurrect the node (the canonicity filter).
+  for (int round = 0; round < 50; ++round) {
+    NodeArena arena;
+    AnnounceList list(arena, kUall, false);
+    UpdateNode* n = make_node(arena, 7);
+    std::atomic<bool> go{false};
+    std::thread helper([&] {
+      while (!go.load()) {
+      }
+      list.insert(n);
+    });
+    go = true;
+    list.insert(n);
+    list.remove(n);
+    helper.join();
+    // Even if the helper's insert landed after remove, its cell lost the
+    // canonicity claim (or the canonical one is marked): nothing visible.
+    EXPECT_TRUE(visible_keys(list).empty()) << "round " << round;
+  }
+}
+
+TEST(AnnounceList, ConcurrentInsertRemoveStress) {
+  NodeArena arena;
+  AnnounceList list(arena, kUall, false);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 3000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      for (int i = 0; i < kOps; ++i) {
+        UpdateNode* n = make_node(arena, (t * kOps + i) % 97);
+        list.insert(n);
+        if (i % 2 == 0) list.remove(n);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  // Remaining visible keys must be sorted.
+  auto keys = visible_keys(list);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(keys.size(), static_cast<std::size_t>(kThreads) * kOps / 2);
+}
+
+TEST(AnnounceList, NextWordExposesTraversableChain) {
+  NodeArena arena;
+  AnnounceList list(arena, kRuall, true);
+  for (Key k : {3, 1, 2}) list.insert(make_node(arena, k));
+  // Walk raw next words like the RU-ALL traversal does.
+  AnnCell* c = list.head();
+  std::vector<Key> seen;
+  while (c != list.tail()) {
+    c = AnnounceList::strip(list.next_word(c)->load());
+    if (c != list.tail()) seen.push_back(c->key);
+  }
+  EXPECT_EQ(seen, (std::vector<Key>{3, 2, 1}));
+}
+
+}  // namespace
+}  // namespace lfbt

@@ -1,0 +1,51 @@
+#include "baselines/cow_universal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "set_test_util.hpp"
+
+namespace lfbt {
+namespace {
+
+TEST(CowUniversal, Basics) {
+  CowUniversalSet s;
+  EXPECT_FALSE(s.contains(1));
+  s.insert(1);
+  EXPECT_TRUE(s.contains(1));
+  s.insert(1);
+  s.erase(1);
+  EXPECT_FALSE(s.contains(1));
+  s.erase(1);
+}
+
+TEST(CowUniversal, PredecessorSemantics) {
+  CowUniversalSet s;
+  EXPECT_EQ(s.predecessor(5), kNoKey);
+  for (Key k : {1, 5, 9}) s.insert(k);
+  EXPECT_EQ(s.predecessor(1), kNoKey);
+  EXPECT_EQ(s.predecessor(5), 1);
+  EXPECT_EQ(s.predecessor(6), 5);
+  EXPECT_EQ(s.predecessor(100), 9);
+}
+
+TEST(CowUniversal, SequentialDifferential) {
+  CowUniversalSet s(1 << 10);
+  testutil::sequential_differential(s, 1 << 10, 20000, 53);
+}
+
+TEST(CowUniversal, DisjointRangeDeterminism) {
+  CowUniversalSet s(4 * 32);
+  testutil::disjoint_range_determinism(s, 4, 32, 3000, 59);
+  testutil::quiescent_predecessor_exact(s, 4 * 32);
+}
+
+TEST(CowUniversal, SnapshotReadsAreStableUnderChurn) {
+  // Readers binary-search an immutable snapshot, so a predecessor answer
+  // must always be a key that was inserted at some point.
+  CowUniversalSet s(64);
+  testutil::contention_hammer(s, 64, 4, 8000, 61);
+  testutil::quiescent_predecessor_exact(s, 64);
+}
+
+}  // namespace
+}  // namespace lfbt

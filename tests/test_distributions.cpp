@@ -1,0 +1,78 @@
+#include "workload/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace lfbt {
+namespace {
+
+TEST(Distributions, UniformBounds) {
+  UniformDist d(1000);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 50000; ++i) {
+    Key k = d.sample(rng);
+    ASSERT_GE(k, 0);
+    ASSERT_LT(k, 1000);
+  }
+}
+
+TEST(Distributions, ClusteredConfinesToWindow) {
+  ClusteredDist d(1 << 20, 64);
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 50000; ++i) {
+    Key k = d.sample(rng);
+    ASSERT_GE(k, 0);
+    ASSERT_LT(k, 64);
+  }
+}
+
+TEST(Distributions, ZipfBounds) {
+  ZipfDist d(10000, 0.99);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 50000; ++i) {
+    Key k = d.sample(rng);
+    ASSERT_GE(k, 0);
+    ASSERT_LT(k, 10000);
+  }
+}
+
+TEST(Distributions, ZipfIsSkewed) {
+  // Under theta=0.99 the hottest key should absorb a large share; under
+  // theta ~ 0 the distribution approaches uniform.
+  ZipfDist hot(100000, 0.99);
+  Xoshiro256 rng(4);
+  std::map<Key, int> counts;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) ++counts[hot.sample(rng)];
+  int max_count = 0;
+  for (auto& [k, c] : counts) max_count = std::max(max_count, c);
+  // Zipf(0.99) rank-1 probability is ~ 1/zeta ~ several percent.
+  EXPECT_GT(max_count, kSamples / 50);
+  // Uniform over 100000 keys would put ~2 samples on each.
+  EXPECT_GT(counts.size(), 1000u);
+}
+
+TEST(Distributions, ZipfHotKeysScattered) {
+  // The scatter hash must spread hot ranks over the key space (contention
+  // should not concentrate on numerically adjacent keys).
+  ZipfDist d(1 << 16, 0.99);
+  Xoshiro256 rng(5);
+  std::map<Key, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[d.sample(rng)];
+  std::vector<std::pair<int, Key>> by_count;
+  for (auto& [k, c] : counts) by_count.emplace_back(c, k);
+  std::sort(by_count.rbegin(), by_count.rend());
+  ASSERT_GE(by_count.size(), 4u);
+  // Top 4 hot keys pairwise far apart.
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) {
+      EXPECT_GT(std::abs(by_count[i].second - by_count[j].second), 16);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lfbt

@@ -1,0 +1,54 @@
+#include "baselines/harris_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "set_test_util.hpp"
+
+namespace lfbt {
+namespace {
+
+TEST(HarrisSet, Basics) {
+  HarrisSet s;
+  EXPECT_FALSE(s.contains(3));
+  s.insert(3);
+  EXPECT_TRUE(s.contains(3));
+  s.insert(3);  // idempotent
+  EXPECT_TRUE(s.contains(3));
+  s.erase(3);
+  EXPECT_FALSE(s.contains(3));
+  s.erase(3);  // idempotent
+}
+
+TEST(HarrisSet, PredecessorSemantics) {
+  HarrisSet s;
+  EXPECT_EQ(s.predecessor(100), kNoKey);
+  s.insert(10);
+  s.insert(20);
+  s.insert(30);
+  EXPECT_EQ(s.predecessor(10), kNoKey);
+  EXPECT_EQ(s.predecessor(11), 10);
+  EXPECT_EQ(s.predecessor(25), 20);
+  EXPECT_EQ(s.predecessor(31), 30);
+  s.erase(20);
+  EXPECT_EQ(s.predecessor(25), 10);
+}
+
+TEST(HarrisSet, SequentialDifferential) {
+  HarrisSet s(1 << 10);
+  testutil::sequential_differential(s, 1 << 10, 30000, 17);
+}
+
+TEST(HarrisSet, DisjointRangeDeterminism) {
+  HarrisSet s(4 * 64);
+  testutil::disjoint_range_determinism(s, 4, 64, 10000, 23);
+  testutil::quiescent_predecessor_exact(s, 4 * 64);
+}
+
+TEST(HarrisSet, ContentionHammer) {
+  HarrisSet s(32);
+  testutil::contention_hammer(s, 32, 6, 15000, 31);
+  testutil::quiescent_predecessor_exact(s, 32);
+}
+
+}  // namespace
+}  // namespace lfbt

@@ -1,0 +1,62 @@
+#include "baselines/lf_skiplist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "set_test_util.hpp"
+
+namespace lfbt {
+namespace {
+
+TEST(SkipList, Basics) {
+  LockFreeSkipList s;
+  EXPECT_FALSE(s.contains(3));
+  s.insert(3);
+  EXPECT_TRUE(s.contains(3));
+  s.insert(3);
+  EXPECT_TRUE(s.contains(3));
+  s.erase(3);
+  EXPECT_FALSE(s.contains(3));
+  s.erase(3);
+}
+
+TEST(SkipList, PredecessorSemantics) {
+  LockFreeSkipList s;
+  EXPECT_EQ(s.predecessor(0), kNoKey);
+  for (Key k : {2, 4, 8, 16, 32}) s.insert(k);
+  EXPECT_EQ(s.predecessor(2), kNoKey);
+  EXPECT_EQ(s.predecessor(3), 2);
+  EXPECT_EQ(s.predecessor(16), 8);
+  EXPECT_EQ(s.predecessor(1000), 32);
+  s.erase(8);
+  EXPECT_EQ(s.predecessor(16), 4);
+}
+
+TEST(SkipList, SequentialDifferential) {
+  LockFreeSkipList s(1 << 12);
+  testutil::sequential_differential(s, 1 << 12, 40000, 41);
+}
+
+TEST(SkipList, TowersSurviveHeavyChurnOnOneKey) {
+  LockFreeSkipList s;
+  for (int i = 0; i < 5000; ++i) {
+    s.insert(7);
+    EXPECT_TRUE(s.contains(7));
+    s.erase(7);
+    EXPECT_FALSE(s.contains(7));
+  }
+}
+
+TEST(SkipList, DisjointRangeDeterminism) {
+  LockFreeSkipList s(4 * 128);
+  testutil::disjoint_range_determinism(s, 4, 128, 10000, 43);
+  testutil::quiescent_predecessor_exact(s, 4 * 128);
+}
+
+TEST(SkipList, ContentionHammer) {
+  LockFreeSkipList s(32);
+  testutil::contention_hammer(s, 32, 6, 15000, 47);
+  testutil::quiescent_predecessor_exact(s, 32);
+}
+
+}  // namespace
+}  // namespace lfbt

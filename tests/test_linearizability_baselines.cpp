@@ -1,0 +1,53 @@
+// The same windowed Wing–Gong harness applied to the baselines: both a
+// validity check of the harness itself (the trivially linearizable
+// coarse-lock trie must pass) and a correctness gate for the lock-free
+// comparators.
+#include <gtest/gtest.h>
+
+#include "baselines/cow_universal.hpp"
+#include "baselines/harris_set.hpp"
+#include "baselines/lf_skiplist.hpp"
+#include "baselines/locked_trie.hpp"
+#include "stress_util.hpp"
+
+namespace lfbt {
+namespace {
+
+testutil::StressSpec default_spec(uint64_t seed) {
+  testutil::StressSpec spec;
+  spec.universe = 16;
+  spec.threads = 4;
+  spec.ops_per_round = 10;
+  spec.rounds = 80;
+  spec.pred_weight = 30;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(BaselineLinearizability, CoarseLockTrie) {
+  CoarseLockTrie set(16);
+  testutil::linearizability_stress(set, default_spec(11));
+}
+
+TEST(BaselineLinearizability, RwLockTrie) {
+  RwLockTrie set(16);
+  testutil::linearizability_stress(set, default_spec(12));
+}
+
+TEST(BaselineLinearizability, HarrisSet) {
+  HarrisSet set(16);
+  testutil::linearizability_stress(set, default_spec(13));
+}
+
+TEST(BaselineLinearizability, SkipList) {
+  LockFreeSkipList set(16);
+  testutil::linearizability_stress(set, default_spec(14));
+}
+
+TEST(BaselineLinearizability, CowUniversal) {
+  CowUniversalSet set(16);
+  testutil::linearizability_stress(set, default_spec(15));
+}
+
+}  // namespace
+}  // namespace lfbt

@@ -1,0 +1,41 @@
+#include "baselines/locked_trie.hpp"
+
+#include <gtest/gtest.h>
+
+#include "set_test_util.hpp"
+
+namespace lfbt {
+namespace {
+
+template <class T>
+class LockedTrieTest : public ::testing::Test {};
+
+using LockedTries = ::testing::Types<CoarseLockTrie, RwLockTrie>;
+TYPED_TEST_SUITE(LockedTrieTest, LockedTries);
+
+TYPED_TEST(LockedTrieTest, SequentialDifferential) {
+  TypeParam t(1 << 10);
+  testutil::sequential_differential(t, 1 << 10, 30000, 67);
+}
+
+TYPED_TEST(LockedTrieTest, DisjointRangeDeterminism) {
+  TypeParam t(4 * 64);
+  testutil::disjoint_range_determinism(t, 4, 64, 10000, 71);
+  testutil::quiescent_predecessor_exact(t, 4 * 64);
+}
+
+TYPED_TEST(LockedTrieTest, ContentionHammer) {
+  TypeParam t(32);
+  testutil::contention_hammer(t, 32, 6, 15000, 73);
+  testutil::quiescent_predecessor_exact(t, 32);
+}
+
+TYPED_TEST(LockedTrieTest, MaxQuery) {
+  TypeParam t(128);
+  EXPECT_EQ(t.predecessor(128), kNoKey);
+  t.insert(127);
+  EXPECT_EQ(t.predecessor(128), 127);
+}
+
+}  // namespace
+}  // namespace lfbt

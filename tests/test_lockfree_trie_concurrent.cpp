@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/lockfree_trie.hpp"
+#include "set_test_util.hpp"
+#include "verify/oracle.hpp"
+
+namespace lfbt {
+namespace {
+
+TEST(LockFreeTrieConc, DisjointRangeDeterminism) {
+  LockFreeBinaryTrie t(4 * 64);
+  testutil::disjoint_range_determinism(t, 4, 64, 12000, 501);
+  testutil::quiescent_predecessor_exact(t, 4 * 64);
+}
+
+TEST(LockFreeTrieConc, DisjointRangesWithConcurrentPredecessors) {
+  // Updaters on disjoint ranges plus dedicated predecessor threads; the
+  // final state must still be deterministic and the queries in-range.
+  constexpr int kUpdaters = 3;
+  constexpr Key kRange = 32;
+  constexpr Key kUniverse = kUpdaters * kRange;
+  LockFreeBinaryTrie t(kUniverse);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> bad{false};
+  std::vector<std::thread> preds;
+  for (int p = 0; p < 3; ++p) {
+    preds.emplace_back([&, p] {
+      Xoshiro256 rng(900 + p);
+      while (!stop.load()) {
+        Key y = static_cast<Key>(rng.bounded(kUniverse)) + 1;
+        Key got = t.predecessor(y);
+        if (got < kNoKey || got >= y) bad = true;
+      }
+    });
+  }
+  testutil::disjoint_range_determinism(t, kUpdaters, kRange, 8000, 777);
+  stop = true;
+  for (auto& th : preds) th.join();
+  EXPECT_FALSE(bad.load());
+  testutil::quiescent_predecessor_exact(t, kUniverse);
+}
+
+TEST(LockFreeTrieConc, ContentionHammerTinyUniverse) {
+  LockFreeBinaryTrie t(16);
+  testutil::contention_hammer(t, 8, 16, 60000, 511);
+  testutil::quiescent_predecessor_exact(t, 16);
+}
+
+TEST(LockFreeTrieConc, ContentionHammerSingleKey) {
+  // Everyone fights over key 0: maximal latest-list contention.
+  LockFreeBinaryTrie t(2);
+  std::vector<std::thread> ths;
+  for (int th = 0; th < 8; ++th) {
+    ths.emplace_back([&, th] {
+      Xoshiro256 rng(600 + th);
+      for (int i = 0; i < 20000; ++i) {
+        switch (rng.bounded(4)) {
+          case 0:
+            t.insert(0);
+            break;
+          case 1:
+            t.erase(0);
+            break;
+          case 2:
+            (void)t.contains(0);
+            break;
+          default: {
+            Key p = t.predecessor(1);
+            ASSERT_TRUE(p == kNoKey || p == 0) << p;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : ths) th.join();
+  testutil::quiescent_predecessor_exact(t, 2);
+}
+
+class SingleWriterOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SingleWriterOracleTest, PredecessorAnswersAlwaysJustifiable) {
+  // One writer mutates; GetParam() readers run predecessor; every answer
+  // must match the predecessor in some state version overlapping the
+  // query interval (sound linearizability filter, see oracle.hpp).
+  const int kReaders = GetParam();
+  constexpr Key kUniverse = 48;
+  LockFreeBinaryTrie t(kUniverse);
+  HistoryClock clock;
+  SingleWriterOracle oracle;
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<SingleWriterOracle::Query>> logs(kReaders);
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Xoshiro256 rng(1000 + r);
+      while (!stop.load()) {
+        Key y = static_cast<Key>(rng.bounded(kUniverse)) + 1;
+        SingleWriterOracle::reader_query(t, y, clock, logs[r]);
+      }
+    });
+  }
+  Xoshiro256 rng(4242);
+  for (int i = 0; i < 15000; ++i) {
+    Key k = static_cast<Key>(rng.bounded(kUniverse));
+    oracle.writer_apply(t, rng.bounded(2) ? OpKind::kInsert : OpKind::kErase, k,
+                        clock);
+  }
+  stop = true;
+  for (auto& th : readers) th.join();
+  for (int r = 0; r < kReaders; ++r) {
+    auto idx = oracle.validate(logs[r]);
+    ASSERT_EQ(idx, -1) << "reader " << r << " query " << idx << " y="
+                       << logs[r][static_cast<std::size_t>(idx)].y << " answered "
+                       << logs[r][static_cast<std::size_t>(idx)].answer;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Readers, SingleWriterOracleTest,
+                         ::testing::Values(1, 2, 4));
+
+TEST(LockFreeTrieConc, ProgressUnderHeavyOversubscription) {
+  // 24 threads on whatever cores exist: all fixed op counts must finish
+  // (a deadlock or livelock would trip the test timeout).
+  LockFreeBinaryTrie t(64);
+  std::vector<std::thread> ths;
+  std::atomic<uint64_t> done{0};
+  for (int th = 0; th < 24; ++th) {
+    ths.emplace_back([&, th] {
+      Xoshiro256 rng(2000 + th);
+      for (int i = 0; i < 4000; ++i) {
+        Key k = static_cast<Key>(rng.bounded(64));
+        switch (rng.bounded(4)) {
+          case 0:
+            t.insert(k);
+            break;
+          case 1:
+            t.erase(k);
+            break;
+          case 2:
+            (void)t.contains(k);
+            break;
+          default:
+            (void)t.predecessor(k + 1);
+        }
+      }
+      done.fetch_add(1);
+    });
+  }
+  for (auto& th : ths) th.join();
+  EXPECT_EQ(done.load(), 24u);
+  testutil::quiescent_predecessor_exact(t, 64);
+}
+
+TEST(LockFreeTrieConc, SearchNeverBlocksUnderUpdateStorm) {
+  LockFreeBinaryTrie t(64);
+  t.insert(42);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> storm;
+  for (int c = 0; c < 6; ++c) {
+    storm.emplace_back([&, c] {
+      Xoshiro256 rng(3000 + c);
+      while (!stop.load()) {
+        Key k = static_cast<Key>(rng.bounded(32));
+        if (rng.bounded(2)) {
+          t.insert(k);
+        } else {
+          t.erase(k);
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 300000; ++i) {
+    ASSERT_TRUE(t.contains(42));
+  }
+  stop = true;
+  for (auto& th : storm) th.join();
+}
+
+}  // namespace
+}  // namespace lfbt

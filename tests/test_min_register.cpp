@@ -1,0 +1,85 @@
+#include "sync/min_register.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace lfbt {
+namespace {
+
+TEST(MinRegister, InitialValueReadsBack) {
+  for (uint32_t v : {0u, 1u, 5u, 21u, 63u, 64u}) {
+    MinRegister r(v);
+    EXPECT_EQ(r.read(), v);
+  }
+}
+
+TEST(MinRegister, MinWriteOnlyDecreases) {
+  MinRegister r(21);
+  r.min_write(30);
+  EXPECT_EQ(r.read(), 21u);  // larger write is a no-op
+  r.min_write(7);
+  EXPECT_EQ(r.read(), 7u);
+  r.min_write(7);
+  EXPECT_EQ(r.read(), 7u);  // idempotent
+  r.min_write(0);
+  EXPECT_EQ(r.read(), 0u);
+  r.min_write(64);
+  EXPECT_EQ(r.read(), 0u);
+}
+
+TEST(MinRegister, ResetRestores) {
+  MinRegister r(10);
+  r.min_write(3);
+  r.reset(10);
+  EXPECT_EQ(r.read(), 10u);
+}
+
+class MinRegisterSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(MinRegisterSweep, MaskRepresentationMatchesSemantics) {
+  // Property: after any sequence of min-writes, read() == min of initial
+  // value and all writes.
+  const uint32_t init = GetParam();
+  MinRegister r(init);
+  uint32_t expect = init;
+  uint32_t seq[] = {17, 63, 2, 40, 2, 1, 33, 0, 64};
+  for (uint32_t w : seq) {
+    r.min_write(w);
+    expect = std::min(expect, w);
+    ASSERT_EQ(r.read(), expect) << "after write " << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Inits, MinRegisterSweep,
+                         ::testing::Values(0u, 1u, 2u, 8u, 21u, 33u, 63u, 64u));
+
+TEST(MinRegister, ConcurrentMinWritesConvergeToGlobalMin) {
+  // The paper's wait-freedom claim rests on MinWrite being one atomic AND:
+  // concurrent writers can never lose the global minimum.
+  for (int round = 0; round < 20; ++round) {
+    MinRegister r(64);
+    constexpr int kThreads = 8;
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t) {
+      ts.emplace_back([&r, t] {
+        for (uint32_t w = 63; w > 0; --w) {
+          if ((w + t) % kThreads == 0) r.min_write(w + static_cast<uint32_t>(t) % 3);
+        }
+        r.min_write(static_cast<uint32_t>(t) + 1);
+      });
+    }
+    for (auto& t : ts) t.join();
+    EXPECT_EQ(r.read(), 1u);  // min over all writes is thread 0's +1
+  }
+}
+
+TEST(MinRegister, SingleWordFootprint) {
+  // The implementation promise: a (b+1)-bounded min-register is one 64-bit
+  // word, min-written with a single fetch_and.
+  EXPECT_EQ(sizeof(MinRegister), 8u);
+}
+
+}  // namespace
+}  // namespace lfbt

@@ -1,0 +1,126 @@
+#include "lists/pall.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "sync/arena.hpp"
+
+namespace lfbt {
+namespace {
+
+std::vector<Key> live_keys(PAll& pall) {
+  std::vector<Key> out;
+  for (PredecessorNode* p = pall.first_live(); p != nullptr;
+       p = PAll::next_live(p)) {
+    out.push_back(p->key);
+  }
+  return out;
+}
+
+TEST(PAll, PushIsLifo) {
+  NodeArena arena;
+  PAll pall;
+  for (Key k : {1, 2, 3}) pall.push(arena.create<PredecessorNode>(k));
+  EXPECT_EQ(live_keys(pall), (std::vector<Key>{3, 2, 1}));
+}
+
+TEST(PAll, RemoveHidesFromLiveTraversal) {
+  NodeArena arena;
+  PAll pall;
+  auto* a = arena.create<PredecessorNode>(1);
+  auto* b = arena.create<PredecessorNode>(2);
+  auto* c = arena.create<PredecessorNode>(3);
+  pall.push(a);
+  pall.push(b);
+  pall.push(c);
+  pall.remove(b);
+  EXPECT_EQ(live_keys(pall), (std::vector<Key>{3, 1}));
+  EXPECT_TRUE(PAll::is_removed(b));
+  pall.remove(c);
+  pall.remove(a);
+  EXPECT_TRUE(live_keys(pall).empty());
+}
+
+TEST(PAll, RawChainStaysTraversableThroughRemovedNodes) {
+  // PredHelper's Q snapshot walks raw next pointers; a node removed after
+  // the snapshot must keep its chain intact (arena-managed memory).
+  NodeArena arena;
+  PAll pall;
+  auto* a = arena.create<PredecessorNode>(1);
+  auto* b = arena.create<PredecessorNode>(2);
+  pall.push(a);
+  pall.push(b);
+  PredecessorNode* snap = pall.first_raw();  // == b
+  pall.remove(b);
+  EXPECT_EQ(snap, b);
+  EXPECT_EQ(PAll::next_raw(snap), a);  // chain intact
+}
+
+TEST(PAll, ConcurrentPushRemoveKeepsLiveSetConsistent) {
+  NodeArena arena;
+  PAll pall;
+  constexpr int kThreads = 6;
+  constexpr int kOps = 4000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      for (int i = 0; i < kOps; ++i) {
+        auto* p = arena.create<PredecessorNode>(t * kOps + i);
+        pall.push(p);
+        pall.remove(p);  // every announcement retired, like real ops
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_TRUE(live_keys(pall).empty());
+}
+
+TEST(NotifyList, PushPrependsNewestFirst) {
+  NodeArena arena;
+  auto* p = arena.create<PredecessorNode>(10);
+  for (Key k : {1, 2, 3}) {
+    auto* n = arena.create<NotifyNode>();
+    n->key = k;
+    EXPECT_TRUE(NotifyList::push(p, n, [] { return true; }));
+  }
+  std::vector<Key> seen;
+  for (NotifyNode* n = NotifyList::head(p); n != nullptr; n = n->next) {
+    seen.push_back(n->key);
+  }
+  EXPECT_EQ(seen, (std::vector<Key>{3, 2, 1}));
+}
+
+TEST(NotifyList, FailedValidationAbandonsPush) {
+  NodeArena arena;
+  auto* p = arena.create<PredecessorNode>(10);
+  auto* n = arena.create<NotifyNode>();
+  n->key = 5;
+  EXPECT_FALSE(NotifyList::push(p, n, [] { return false; }));
+  EXPECT_EQ(NotifyList::head(p), nullptr);
+}
+
+TEST(NotifyList, ConcurrentPushesAllLand) {
+  NodeArena arena;
+  auto* p = arena.create<PredecessorNode>(0);
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto* n = arena.create<NotifyNode>();
+        n->key = i;
+        ASSERT_TRUE(NotifyList::push(p, n, [] { return true; }));
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  int count = 0;
+  for (NotifyNode* n = NotifyList::head(p); n != nullptr; n = n->next) ++count;
+  EXPECT_EQ(count, kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace lfbt

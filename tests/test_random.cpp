@@ -1,0 +1,58 @@
+#include "sync/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lfbt {
+namespace {
+
+TEST(Random, DeterministicForSeed) {
+  Xoshiro256 a(99), b(99);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Random, BoundedStaysInRange) {
+  Xoshiro256 rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 2000; ++i) {
+      ASSERT_LT(rng.bounded(bound), bound);
+    }
+  }
+}
+
+TEST(Random, BoundedIsRoughlyUniform) {
+  Xoshiro256 rng(11);
+  constexpr uint64_t kBuckets = 16;
+  constexpr int kSamples = 160000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.bounded(kBuckets)];
+  const int expect = kSamples / kBuckets;
+  for (uint64_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], expect, expect * 0.1) << "bucket " << b;
+  }
+}
+
+TEST(Random, Uniform01InRange) {
+  Xoshiro256 rng(3);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace lfbt

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "relaxed/relaxed_trie.hpp"
+#include "set_test_util.hpp"
+
+namespace lfbt {
+namespace {
+
+TEST(RelaxedTrieConc, DisjointRangeDeterminism) {
+  RelaxedBinaryTrie t(4 * 64);
+  testutil::disjoint_range_determinism(t, 4, 64, 15000, 101);
+}
+
+TEST(RelaxedTrieConc, QuiescentBitsCorrectAfterContention) {
+  RelaxedBinaryTrie t(64);
+  std::vector<std::thread> ths;
+  for (int th = 0; th < 6; ++th) {
+    ths.emplace_back([&, th] {
+      Xoshiro256 rng(200 + th);
+      for (int i = 0; i < 20000; ++i) {
+        Key k = static_cast<Key>(rng.bounded(64));
+        if (rng.bounded(2)) {
+          t.insert(k);
+        } else {
+          t.erase(k);
+        }
+      }
+    });
+  }
+  for (auto& th : ths) th.join();
+  // IB0/IB1 in a quiescent configuration.
+  TrieCore& core = t.core_for_test();
+  for (uint64_t node = 1; node < core.leaf_base(); ++node) {
+    ASSERT_EQ(core.interpreted_bit(node), core.quiescent_bit_reference(node))
+        << "node " << node;
+  }
+  testutil::quiescent_predecessor_exact(t, 64);
+}
+
+TEST(RelaxedTrieConc, RelaxedPredecessorSpecUnderCompletelyPresentKeys) {
+  // Spec (Section 4.1): keys completely present throughout the query act
+  // as a floor — the answer is either >= that key (some key in S during
+  // the op) or ⊥ blamed on concurrent updates with keys strictly between.
+  // We pin key P in S for the whole run and churn only keys < P; queries
+  // for y > P where the churn window is *below* P must return >= P never ⊥.
+  constexpr Key kPinned = 40;
+  constexpr Key kUniverse = 64;
+  RelaxedBinaryTrie t(kUniverse);
+  t.insert(kPinned);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> violation{false};
+  std::thread churn([&] {
+    Xoshiro256 rng(77);
+    while (!stop.load()) {
+      Key k = static_cast<Key>(rng.bounded(20));  // churn keys 0..19 only
+      if (rng.bounded(2)) {
+        t.insert(k);
+      } else {
+        t.erase(k);
+      }
+    }
+  });
+  std::thread churn_high([&] {
+    Xoshiro256 rng(78);
+    while (!stop.load()) {
+      // churn keys strictly above pinned as well; they may raise the
+      // answer but never lower it below kPinned.
+      Key k = kPinned + 1 + static_cast<Key>(rng.bounded(10));
+      if (rng.bounded(2)) {
+        t.insert(k);
+      } else {
+        t.erase(k);
+      }
+    }
+  });
+  for (int i = 0; i < 30000 && !violation.load(); ++i) {
+    Key got = t.relaxed_predecessor(kUniverse);
+    // kPinned is completely present: by the spec the result is in
+    // {⊥} ∪ {kPinned..kUniverse-1}; ⊥ additionally needs a concurrent
+    // update with key in (kPinned, kUniverse) — which churn_high provides,
+    // so ⊥ is admissible here; a key below kPinned is not.
+    if (got != kBottom && got < kPinned) violation = true;
+  }
+  stop = true;
+  churn.join();
+  churn_high.join();
+  EXPECT_FALSE(violation.load())
+      << "relaxed predecessor returned a key below a completely-present key";
+}
+
+TEST(RelaxedTrieConc, BottomOnlyWhenUpdatesInterfere) {
+  // With churn confined to keys ABOVE every query point, queries below
+  // must never see ⊥ and must return the exact (stable) predecessor.
+  constexpr Key kUniverse = 128;
+  RelaxedBinaryTrie t(kUniverse);
+  t.insert(5);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> violation{false};
+  std::thread churn([&] {
+    Xoshiro256 rng(88);
+    while (!stop.load()) {
+      Key k = 64 + static_cast<Key>(rng.bounded(64));
+      if (rng.bounded(2)) {
+        t.insert(k);
+      } else {
+        t.erase(k);
+      }
+    }
+  });
+  for (int i = 0; i < 30000 && !violation.load(); ++i) {
+    Key got = t.relaxed_predecessor(32);  // churn is in [64,128): disjoint
+    if (got != 5) violation = true;
+  }
+  stop = true;
+  churn.join();
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(RelaxedTrieConc, SearchIsAccurateUnderChurnOfOtherKeys) {
+  // O(1) contains must be exact for keys no one else is updating.
+  RelaxedBinaryTrie t(64);
+  t.insert(42);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> violation{false};
+  std::vector<std::thread> churns;
+  for (int c = 0; c < 4; ++c) {
+    churns.emplace_back([&, c] {
+      Xoshiro256 rng(300 + c);
+      while (!stop.load()) {
+        Key k = static_cast<Key>(rng.bounded(32));
+        if (rng.bounded(2)) {
+          t.insert(k);
+        } else {
+          t.erase(k);
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 200000; ++i) {
+    if (!t.contains(42)) {
+      violation = true;
+      break;
+    }
+  }
+  stop = true;
+  for (auto& th : churns) th.join();
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(RelaxedTrieConc, HammerSmallUniverse) {
+  RelaxedBinaryTrie t(16);
+  std::atomic<bool> bad{false};
+  std::vector<std::thread> ths;
+  for (int th = 0; th < 6; ++th) {
+    ths.emplace_back([&, th] {
+      Xoshiro256 rng(400 + th);
+      for (int i = 0; i < 30000 && !bad.load(); ++i) {
+        Key k = static_cast<Key>(rng.bounded(16));
+        switch (rng.bounded(4)) {
+          case 0:
+            t.insert(k);
+            break;
+          case 1:
+            t.erase(k);
+            break;
+          case 2:
+            (void)t.contains(k);
+            break;
+          default: {
+            Key p = t.relaxed_predecessor(k + 1);
+            if (p != kBottom && (p < kNoKey || p > k)) bad = true;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : ths) th.join();
+  EXPECT_FALSE(bad.load());
+  testutil::quiescent_predecessor_exact(t, 16);
+}
+
+}  // namespace
+}  // namespace lfbt

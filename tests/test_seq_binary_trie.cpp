@@ -1,0 +1,111 @@
+#include "baselines/seq_binary_trie.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sync/random.hpp"
+
+namespace lfbt {
+namespace {
+
+Key ref_predecessor(const std::set<Key>& s, Key y) {
+  auto it = s.lower_bound(y);
+  return it == s.begin() ? kNoKey : *std::prev(it);
+}
+
+TEST(SeqBinaryTrie, EmptyTrieBehaviour) {
+  SeqBinaryTrie t(64);
+  EXPECT_FALSE(t.contains(0));
+  EXPECT_FALSE(t.contains(63));
+  EXPECT_EQ(t.predecessor(0), kNoKey);
+  EXPECT_EQ(t.predecessor(64), kNoKey);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(SeqBinaryTrie, InsertEraseReturnValues) {
+  SeqBinaryTrie t(64);
+  EXPECT_TRUE(t.insert(5));
+  EXPECT_FALSE(t.insert(5));  // duplicate
+  EXPECT_TRUE(t.contains(5));
+  EXPECT_TRUE(t.erase(5));
+  EXPECT_FALSE(t.erase(5));  // absent
+  EXPECT_FALSE(t.contains(5));
+}
+
+TEST(SeqBinaryTrie, PredecessorEdgeCases) {
+  SeqBinaryTrie t(16);
+  t.insert(0);
+  t.insert(15);
+  EXPECT_EQ(t.predecessor(0), kNoKey);   // nothing below 0
+  EXPECT_EQ(t.predecessor(1), 0);        // own key excluded? y=1 -> 0
+  EXPECT_EQ(t.predecessor(15), 0);       // key 15 itself not < 15
+  EXPECT_EQ(t.predecessor(16), 15);      // max query
+  t.erase(0);
+  EXPECT_EQ(t.predecessor(15), kNoKey);
+}
+
+TEST(SeqBinaryTrie, NonPowerOfTwoUniverse) {
+  SeqBinaryTrie t(100);
+  for (Key k = 0; k < 100; k += 7) t.insert(k);
+  EXPECT_EQ(t.predecessor(100), 98);
+  EXPECT_EQ(t.predecessor(7), 0);
+  EXPECT_EQ(t.predecessor(8), 7);
+}
+
+TEST(SeqBinaryTrie, UniverseOfOne) {
+  SeqBinaryTrie t(1);
+  EXPECT_FALSE(t.contains(0));
+  t.insert(0);
+  EXPECT_TRUE(t.contains(0));
+  EXPECT_EQ(t.predecessor(0), kNoKey);
+  EXPECT_EQ(t.predecessor(1), 0);
+}
+
+class SeqTrieDifferential : public ::testing::TestWithParam<Key> {};
+
+TEST_P(SeqTrieDifferential, MatchesStdSet) {
+  const Key u = GetParam();
+  SeqBinaryTrie t(u);
+  std::set<Key> ref;
+  Xoshiro256 rng(static_cast<uint64_t>(u) * 31 + 7);
+  for (int i = 0; i < 40000; ++i) {
+    Key k = static_cast<Key>(rng.bounded(static_cast<uint64_t>(u)));
+    switch (rng.bounded(4)) {
+      case 0:
+        ASSERT_EQ(t.insert(k), ref.insert(k).second);
+        break;
+      case 1:
+        ASSERT_EQ(t.erase(k), ref.erase(k) > 0);
+        break;
+      case 2:
+        ASSERT_EQ(t.contains(k), ref.count(k) > 0);
+        break;
+      default: {
+        Key y = k + 1;
+        ASSERT_EQ(t.predecessor(y), ref_predecessor(ref, y)) << "y=" << y;
+      }
+    }
+  }
+  ASSERT_EQ(t.size(), ref.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Universes, SeqTrieDifferential,
+                         ::testing::Values(2, 3, 16, 37, 64, 100, 1024, 4096));
+
+TEST(SeqBinaryTrie, DensePredecessorSweep) {
+  // Exhaustive: every y over every dense-set prefix.
+  const Key u = 128;
+  SeqBinaryTrie t(u);
+  std::set<Key> ref;
+  for (Key k = 0; k < u; k += 3) {
+    t.insert(k);
+    ref.insert(k);
+  }
+  for (Key y = 0; y <= u; ++y) {
+    ASSERT_EQ(t.predecessor(y), ref_predecessor(ref, y)) << y;
+  }
+}
+
+}  // namespace
+}  // namespace lfbt

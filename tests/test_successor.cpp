@@ -1,0 +1,134 @@
+// Successor queries across every structure that supports them, checked
+// against std::set. (The lock-free trie of Section 5 is predecessor-only;
+// the relaxed trie's successor mirrors its predecessor contract.)
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "baselines/cow_universal.hpp"
+#include "baselines/harris_set.hpp"
+#include "baselines/lf_skiplist.hpp"
+#include "baselines/locked_trie.hpp"
+#include "baselines/seq_binary_trie.hpp"
+#include "baselines/versioned_trie.hpp"
+#include "relaxed/relaxed_trie.hpp"
+#include "sync/random.hpp"
+
+namespace lfbt {
+namespace {
+
+Key ref_successor(const std::set<Key>& s, Key y) {
+  auto it = s.upper_bound(y);
+  return it == s.end() ? kNoKey : *it;
+}
+
+template <class Set, class Succ>
+void successor_differential(Set& set, Succ succ, Key universe, int ops,
+                            uint64_t seed) {
+  std::set<Key> ref;
+  Xoshiro256 rng(seed);
+  for (int i = 0; i < ops; ++i) {
+    Key k = static_cast<Key>(rng.bounded(static_cast<uint64_t>(universe)));
+    switch (rng.bounded(3)) {
+      case 0:
+        set.insert(k);
+        ref.insert(k);
+        break;
+      case 1:
+        set.erase(k);
+        ref.erase(k);
+        break;
+      default: {
+        Key y = k - 1;  // in [-1, u-1)
+        ASSERT_EQ(succ(set, y), ref_successor(ref, y)) << "i=" << i << " y=" << y;
+      }
+    }
+  }
+}
+
+auto plain_succ = [](auto& s, Key y) { return s.successor(y); };
+
+TEST(Successor, SeqBinaryTrie) {
+  SeqBinaryTrie t(1 << 10);
+  successor_differential(t, plain_succ, 1 << 10, 20000, 201);
+}
+
+TEST(Successor, RelaxedTrieSequentialIsExact) {
+  RelaxedBinaryTrie t(1 << 10);
+  successor_differential(
+      t, [](auto& s, Key y) { return s.relaxed_successor(y); }, 1 << 10, 20000,
+      202);
+}
+
+TEST(Successor, LockedTries) {
+  CoarseLockTrie a(1 << 9);
+  successor_differential(a, plain_succ, 1 << 9, 10000, 203);
+  RwLockTrie b(1 << 9);
+  successor_differential(b, plain_succ, 1 << 9, 10000, 204);
+}
+
+TEST(Successor, HarrisSet) {
+  HarrisSet s(1 << 9);
+  successor_differential(s, plain_succ, 1 << 9, 10000, 205);
+}
+
+TEST(Successor, SkipList) {
+  LockFreeSkipList s(1 << 9);
+  successor_differential(s, plain_succ, 1 << 9, 10000, 206);
+}
+
+TEST(Successor, CowUniversal) {
+  CowUniversalSet s(1 << 9);
+  successor_differential(s, plain_succ, 1 << 9, 5000, 207);
+}
+
+TEST(Successor, VersionedTrie) {
+  VersionedTrie s(1 << 9);
+  successor_differential(s, plain_succ, 1 << 9, 10000, 208);
+}
+
+TEST(Successor, EdgeCases) {
+  SeqBinaryTrie t(64);
+  EXPECT_EQ(t.successor(-1), kNoKey);
+  t.insert(0);
+  EXPECT_EQ(t.successor(-1), 0);
+  EXPECT_EQ(t.successor(0), kNoKey);
+  t.insert(63);
+  EXPECT_EQ(t.successor(0), 63);
+  EXPECT_EQ(t.successor(62), 63);
+  EXPECT_EQ(t.successor(63 - 64), 0);  // y = -1 again
+}
+
+TEST(Successor, RelaxedTrieMinQueryUnderHighChurn) {
+  // Churn on high keys only; successor(-1) must keep finding the pinned
+  // minimum (never ⊥, since no update has a key between -1 and 3).
+  RelaxedBinaryTrie t(128);
+  t.insert(3);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> bad{false};
+  std::thread churn([&] {
+    Xoshiro256 rng(209);
+    while (!stop.load()) {
+      Key k = 64 + static_cast<Key>(rng.bounded(64));
+      if (rng.bounded(2)) {
+        t.insert(k);
+      } else {
+        t.erase(k);
+      }
+    }
+  });
+  for (int i = 0; i < 30000; ++i) {
+    if (t.relaxed_successor(-1) != 3) {
+      bad = true;
+      break;
+    }
+  }
+  stop = true;
+  churn.join();
+  EXPECT_FALSE(bad.load());
+}
+
+}  // namespace
+}  // namespace lfbt

@@ -1,0 +1,59 @@
+#include "sync/thread_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace lfbt {
+namespace {
+
+TEST(ThreadRegistry, StableWithinThread) {
+  int a = ThreadRegistry::id();
+  int b = ThreadRegistry::id();
+  EXPECT_EQ(a, b);
+  EXPECT_GE(a, 0);
+  EXPECT_LT(a, kMaxThreads);
+}
+
+TEST(ThreadRegistry, ConcurrentThreadsGetDistinctIds) {
+  constexpr int kThreads = 16;
+  std::mutex mu;
+  std::set<int> ids;
+  std::vector<std::thread> ts;
+  std::atomic<int> arrived{0};
+  std::atomic<bool> go{false};
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      int id = ThreadRegistry::id();
+      arrived.fetch_add(1);
+      while (!go.load()) std::this_thread::yield();  // hold slot until all have one
+      std::lock_guard lock(mu);
+      ids.insert(id);
+    });
+  }
+  while (arrived.load() != kThreads) std::this_thread::yield();
+  go = true;
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(kThreads));
+}
+
+TEST(ThreadRegistry, SlotsAreRecycled) {
+  // Thousands of short-lived threads must not exhaust the slot space.
+  for (int round = 0; round < 40; ++round) {
+    std::vector<std::thread> ts;
+    for (int t = 0; t < 16; ++t) {
+      ts.emplace_back([] {
+        int id = ThreadRegistry::id();
+        ASSERT_LT(id, kMaxThreads);
+      });
+    }
+    for (auto& t : ts) t.join();
+  }
+  EXPECT_LT(ThreadRegistry::high_water(), kMaxThreads);
+}
+
+}  // namespace
+}  // namespace lfbt

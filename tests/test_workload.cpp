@@ -1,0 +1,79 @@
+#include "workload/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baselines/locked_trie.hpp"
+#include "workload/harness.hpp"
+
+namespace lfbt {
+namespace {
+
+TEST(Workload, MixProportionsRespected) {
+  UniformDist dist(1000);
+  OpStream stream(OpMix{10, 20, 30, 40}, dist, 99);
+  std::map<OpKind, int> counts;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[stream.next().kind];
+  EXPECT_NEAR(counts[OpKind::kInsert], kN / 10, kN / 100);
+  EXPECT_NEAR(counts[OpKind::kErase], kN / 5, kN / 100);
+  EXPECT_NEAR(counts[OpKind::kContains], kN * 3 / 10, kN / 100);
+  EXPECT_NEAR(counts[OpKind::kPredecessor], kN * 2 / 5, kN / 100);
+}
+
+TEST(Workload, StreamsAreDeterministic) {
+  UniformDist d1(1000), d2(1000);
+  OpStream a(kBalanced, d1, 7), b(kBalanced, d2, 7);
+  for (int i = 0; i < 1000; ++i) {
+    Op oa = a.next(), ob = b.next();
+    ASSERT_EQ(oa.kind, ob.kind);
+    ASSERT_EQ(oa.key, ob.key);
+  }
+}
+
+TEST(Workload, MixNameIsDescriptive) {
+  EXPECT_EQ(kUpdateHeavy.name(), "i50/d50/s0/p0");
+  EXPECT_EQ(kPredHeavy.name(), "i20/d20/s0/p60");
+}
+
+TEST(Harness, RunsFixedOpCountAndReportsThroughput) {
+  BenchConfig cfg;
+  cfg.threads = 2;
+  cfg.ops_per_thread = 5000;
+  cfg.universe = 1 << 10;
+  cfg.mix = kBalanced;
+  auto res = bench_fresh<CoarseLockTrie>(cfg);
+  EXPECT_EQ(res.total_ops, 10000u);
+  EXPECT_GT(res.mops_per_sec, 0.0);
+  EXPECT_GT(res.elapsed_sec, 0.0);
+}
+
+TEST(Harness, LatencySamplingProducesSortedSamples) {
+  BenchConfig cfg;
+  cfg.threads = 1;
+  cfg.ops_per_thread = 4096;
+  cfg.universe = 1 << 10;
+  cfg.sample_latency = true;
+  cfg.latency_sample_every = 16;
+  auto res = bench_fresh<CoarseLockTrie>(cfg);
+  ASSERT_FALSE(res.latencies_ns.empty());
+  EXPECT_TRUE(std::is_sorted(res.latencies_ns.begin(), res.latencies_ns.end()));
+  EXPECT_LE(res.latency_pct(0.5), res.latency_pct(0.99));
+}
+
+TEST(Harness, PrefillRespectsExplicitCount) {
+  BenchConfig cfg;
+  cfg.universe = 1 << 12;
+  cfg.prefill_keys = 100;
+  CoarseLockTrie set(cfg.universe);
+  prefill(set, cfg);
+  // At most 100 (duplicates collapse), definitely nonzero.
+  int count = 0;
+  for (Key k = 0; k < cfg.universe; ++k) count += set.contains(k);
+  EXPECT_GT(count, 0);
+  EXPECT_LE(count, 100);
+}
+
+}  // namespace
+}  // namespace lfbt
