@@ -1,0 +1,89 @@
+// E9: sharded-trie scale-out — throughput vs shard count × thread count.
+// Subsystem claim: partitioning the universe over S independent
+// LockFreeBinaryTrie shards divides announcement-list and latest-list
+// contention by S for spread-out workloads (and shortens per-shard paths
+// to O(log(u/S))), so S > 1 beats the flat S = 1 trie under write-heavy
+// multi-threaded load; key-clustered traffic that lands in one shard
+// shows where partitioning stops helping.
+//
+// Rows are printed as markdown tables and also recorded to BENCH_E9.json
+// for CI archiving/diffing.
+#include "bench_util.hpp"
+#include "shard/sharded_trie.hpp"
+
+namespace lfbt {
+namespace {
+
+bench::JsonRows g_json;
+
+const char* dist_name(const BenchConfig& cfg) {
+  if (cfg.cluster_width > 0) return "clustered";
+  if (cfg.zipf_theta > 0.0) return "zipf0.99";
+  return "uniform";
+}
+
+void run_cell(const BenchConfig& base, int shards, int threads,
+              uint64_t total_ops) {
+  BenchConfig cfg = base;
+  cfg.threads = threads;
+  cfg.shards = shards;
+  cfg.ops_per_thread = bench::scaled(total_ops) / static_cast<uint64_t>(threads);
+  auto res = bench_fresh<ShardedTrie>(cfg);
+  bench::row(bench::fmt("| %2d | %2d | %-14s | %-9s | %9.3f |", shards,
+                        threads, cfg.mix.name().c_str(), dist_name(cfg),
+                        res.mops_per_sec));
+  g_json.add_result("sharded-trie", shards, threads, cfg.mix, dist_name(cfg),
+                    res);
+}
+
+void run_table(const BenchConfig& base, uint64_t total_ops) {
+  bench::row(bench::fmt("### mix %s, %s keys", base.mix.name().c_str(),
+                        dist_name(base)));
+  bench::row("|  S | th | mix            | dist      |  Mops/s   |");
+  bench::row("|----|----|----------------|-----------|-----------|");
+  for (int threads : {1, 2, 4, 8}) {
+    if (!bench::threads_allowed(threads)) continue;
+    for (int shards : {1, 2, 4, 8, 16}) {
+      run_cell(base, shards, threads, total_ops);
+    }
+  }
+  bench::row("");
+}
+
+}  // namespace
+}  // namespace lfbt
+
+int main() {
+  using namespace lfbt;
+  bench::header("E9: sharded trie, throughput vs shard count x threads",
+                "S independent shards divide contention for spread-out key "
+                "traffic; clustered traffic defeats partitioning");
+
+  BenchConfig base;
+  base.universe = Key{1} << 20;
+  base.prefill_keys = 1 << 15;
+  const uint64_t total_ops = 400000;
+
+  // Write-heavy across the three key distributions.
+  base.mix = kUpdateHeavy;
+  run_table(base, total_ops);
+
+  base.zipf_theta = 0.99;
+  run_table(base, total_ops);
+
+  base.zipf_theta = 0.0;
+  base.cluster_width = 1 << 12;  // all traffic inside one shard for S <= 256
+  run_table(base, total_ops);
+  base.cluster_width = 0;
+
+  // Predecessor-heavy, uniform: the cross-shard scan pays for its
+  // validation reads here.
+  base.mix = kPredHeavy;
+  run_table(base, total_ops);
+
+  // Balanced mix, uniform.
+  base.mix = kBalanced;
+  run_table(base, total_ops);
+
+  return g_json.write("BENCH_E9.json") ? 0 : 1;
+}

@@ -2,13 +2,14 @@
 // the command line.
 //
 //   workbench [structure] [threads] [ops_per_thread] [log2_universe]
-//             [insert%] [erase%] [contains%] [pred%] [zipf_theta]
+//             [insert%] [erase%] [contains%] [pred%] [zipf_theta] [shards]
 //
-//   structure: lockfree-trie | relaxed-trie | skiplist | harris |
-//              coarse | rwlock | cow | versioned
+//   structure: lockfree-trie | sharded-trie | relaxed-trie | skiplist |
+//              harris | coarse | rwlock | cow | versioned
 //
 // Examples:
 //   workbench lockfree-trie 8 100000 16 50 50 0 0
+//   workbench sharded-trie 8 100000 20 50 50 0 0 0 16
 //   workbench skiplist 4 200000 20 20 20 0 60 0.99
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +23,7 @@
 #include "baselines/versioned_trie.hpp"
 #include "core/lockfree_trie.hpp"
 #include "relaxed/relaxed_trie.hpp"
+#include "shard/sharded_trie.hpp"
 #include "workload/harness.hpp"
 
 namespace {
@@ -66,6 +68,7 @@ int main(int argc, char** argv) {
   cfg.mix.contains_pct = argc > 7 ? std::atoi(argv[7]) : 25;
   cfg.mix.predecessor_pct = argc > 8 ? std::atoi(argv[8]) : 25;
   cfg.zipf_theta = argc > 9 ? std::atof(argv[9]) : 0.0;
+  cfg.shards = argc > 10 ? std::atoi(argv[10]) : 0;
   if (cfg.mix.insert_pct + cfg.mix.erase_pct + cfg.mix.contains_pct +
           cfg.mix.predecessor_pct !=
       100) {
@@ -74,6 +77,7 @@ int main(int argc, char** argv) {
   }
 
   if (structure == "lockfree-trie") return run<LockFreeBinaryTrie>(cfg, "lockfree-trie");
+  if (structure == "sharded-trie") return run<ShardedTrie>(cfg, "sharded-trie");
   if (structure == "relaxed-trie") return run<RelaxedBinaryTrie>(cfg, "relaxed-trie");
   if (structure == "skiplist") return run<LockFreeSkipList>(cfg, "skiplist");
   if (structure == "harris") return run<HarrisSet>(cfg, "harris");
@@ -82,8 +86,8 @@ int main(int argc, char** argv) {
   if (structure == "cow") return run<CowUniversalSet>(cfg, "cow");
   if (structure == "versioned") return run<VersionedTrie>(cfg, "versioned");
   std::fprintf(stderr,
-               "unknown structure '%s' (try: lockfree-trie relaxed-trie "
-               "skiplist harris coarse rwlock cow versioned)\n",
+               "unknown structure '%s' (try: lockfree-trie sharded-trie "
+               "relaxed-trie skiplist harris coarse rwlock cow versioned)\n",
                structure.c_str());
   return 2;
 }

@@ -29,6 +29,7 @@ class SeqBinaryTrie {
 
   Key universe() const noexcept { return u_; }
   std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
 
   bool contains(Key x) const {
     assert(x >= 0 && x < u_);

@@ -85,7 +85,9 @@ void LockFreeBinaryTrie::insert(Key x) {
     if (DelNode* tg = ln->target.load()) tg->stop.store(true);
   }
   d_node->latest_next.store(nullptr);  // l.169
+  size_.fetch_add(1);  // count before the linearizing CAS: size() >= |S|
   if (!core_.cas_latest(x, d_node, i_node)) {
+    size_.fetch_sub(1);                   // lost the claim; x not inserted
     help_activate(core_.read_latest(x));  // l.171
     return;
   }
@@ -117,6 +119,7 @@ void LockFreeBinaryTrie::erase(Key x) {
   }
   announce(d_node);                               // l.196
   d_node->status.store(UpdateNode::kActive);      // l.197 — linearization
+  size_.fetch_sub(1);  // x left S at l.197; decrement strictly after
   if (DelNode* tg = i_node->target.load()) {      // l.198
     tg->stop.store(true);
   }
@@ -361,7 +364,11 @@ bool LockFreeBinaryTrie::stall_insert_for_test(Key x) {
   auto* i_node = arena_.create<UpdateNode>(x, NodeType::kIns);
   i_node->latest_next.store(d_node);
   d_node->latest_next.store(nullptr);
-  if (!core_.cas_latest(x, d_node, i_node)) return false;
+  size_.fetch_add(1);
+  if (!core_.cas_latest(x, d_node, i_node)) {
+    size_.fetch_sub(1);
+    return false;
+  }
   announce(i_node);
   i_node->status.store(UpdateNode::kActive);  // linearized — then crash.
   return true;
@@ -383,6 +390,7 @@ bool LockFreeBinaryTrie::stall_delete_for_test(Key x) {
   }
   announce(d_node);
   d_node->status.store(UpdateNode::kActive);  // linearized
+  size_.fetch_sub(1);
   if (DelNode* tg = i_node->target.load()) tg->stop.store(true);
   d_node->latest_next.store(nullptr);
   auto [del_pred2, p_node2] = pred_helper(x);

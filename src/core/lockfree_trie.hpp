@@ -27,6 +27,8 @@
 // helping designs.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <utility>
 #include <vector>
 
@@ -57,6 +59,21 @@ class LockFreeBinaryTrie {
   /// Paper Predecessor (l.253–256): largest key < y in S at the
   /// linearization point, or kNoKey (-1). y in [0, universe()].
   Key predecessor(Key y);
+
+  /// Number of keys currently in S, backed by one per-structure atomic
+  /// counter touched once per *successful* update (one fetch_add next to
+  /// the dozen CASes each update already performs). Approximate while
+  /// updates are in flight, but conservatively so: the increment precedes
+  /// the insert's linearizing CAS and the decrement follows the delete's
+  /// activation, so at every instant size() >= |S|. Hence empty() == true
+  /// is a true quiescent-style observation ("no key was present at the
+  /// moment of the read") that ShardedTrie's cross-shard predecessor uses
+  /// to skip shards in O(1). At quiescence size() is exact.
+  std::size_t size() const noexcept {
+    const int64_t v = size_.load();
+    return v > 0 ? static_cast<std::size_t>(v) : 0;
+  }
+  bool empty() const noexcept { return size() == 0; }
 
   std::size_t memory_reserved() const noexcept { return arena_.bytes_reserved(); }
   TrieCore& core_for_test() noexcept { return core_; }
@@ -99,6 +116,13 @@ class LockFreeBinaryTrie {
   AnnounceList uall_;
   AnnounceList ruall_;
   PAll pall_;
+  // |S| tracker for size()/empty(). Updated only by the thread whose CAS
+  // on latest[x] installed the node (helpers never touch it), so every
+  // membership transition is counted exactly once. seq_cst keeps the
+  // increment visible no later than the activation that makes the key
+  // visible, and the decrement no earlier than the activation that removes
+  // it — the "never undercounts" invariant documented at size().
+  std::atomic<int64_t> size_{0};
 };
 
 }  // namespace lfbt

@@ -1,0 +1,97 @@
+// OrderedSet: the repository-wide façade over every dynamic-set-with-
+// predecessor structure — the paper's lock-free trie, the relaxed trie,
+// the sharded trie, and all `src/baselines/` structures.
+//
+// Two layers:
+//  * the `OrderedSet` / `SizedOrderedSet` concepts, used to constrain the
+//    workload harness, tests and benches at compile time (a structure that
+//    drifts from the common API now fails at the template boundary with a
+//    named requirement, not three levels deep in harness internals);
+//  * `AnyOrderedSet`, a non-owning type-erased adapter for call sites that
+//    pick the structure at runtime (workbench-style tools) and for tests
+//    that drive heterogeneous structures through one code path.
+//
+// The concept is deliberately minimal — exactly the four operations the
+// paper defines plus the universe accessor every implementation already
+// has. size()/empty() are split into SizedOrderedSet because most
+// lock-free baselines cannot support them without adding contention.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+
+#include "core/types.hpp"
+
+namespace lfbt {
+
+/// A dynamic set over U = {0..u-1} with predecessor queries. `predecessor`
+/// accepts y in [0, universe()] and returns the largest key < y, or kNoKey.
+template <class S>
+concept OrderedSet = requires(S s, Key k) {
+  { s.insert(k) };
+  { s.erase(k) };
+  { s.contains(k) } -> std::convertible_to<bool>;
+  { s.predecessor(k) } -> std::convertible_to<Key>;
+};
+
+/// An OrderedSet that additionally reports its cardinality. For concurrent
+/// implementations size() may be approximate while updates are in flight;
+/// it must be exact at quiescence, and empty() must be a safe (never
+/// false-positive-empty) observation.
+template <class S>
+concept SizedOrderedSet = OrderedSet<S> && requires(const S s) {
+  { s.size() } -> std::convertible_to<std::size_t>;
+  { s.empty() } -> std::convertible_to<bool>;
+};
+
+/// An OrderedSet partitioned over shards, constructible from (universe,
+/// shard_count). The shard_count() requirement keeps this from matching
+/// unrelated two-argument constructors (e.g. a (universe, seed) one).
+template <class S>
+concept ShardedOrderedSet =
+    OrderedSet<S> && std::constructible_from<S, Key, int> &&
+    requires(const S s) {
+      { s.shard_count() } -> std::convertible_to<int>;
+    };
+
+/// Non-owning type-erased view of any OrderedSet. The referenced structure
+/// must outlive the view. Copyable views share the underlying structure.
+class AnyOrderedSet {
+ public:
+  template <OrderedSet S>
+    requires(!std::same_as<std::remove_cvref_t<S>, AnyOrderedSet>)
+  explicit AnyOrderedSet(S& s) : impl_(std::make_shared<Model<S>>(&s)) {}
+
+  void insert(Key x) { impl_->insert(x); }
+  void erase(Key x) { impl_->erase(x); }
+  bool contains(Key x) { return impl_->contains(x); }
+  Key predecessor(Key y) { return impl_->predecessor(y); }
+
+ private:
+  struct Iface {
+    virtual ~Iface() = default;
+    virtual void insert(Key) = 0;
+    virtual void erase(Key) = 0;
+    virtual bool contains(Key) = 0;
+    virtual Key predecessor(Key) = 0;
+  };
+
+  template <class S>
+  struct Model final : Iface {
+    explicit Model(S* s) : set(s) {}
+    void insert(Key x) override { set->insert(x); }
+    void erase(Key x) override { set->erase(x); }
+    bool contains(Key x) override { return set->contains(x); }
+    Key predecessor(Key y) override { return set->predecessor(y); }
+    S* set;
+  };
+
+  std::shared_ptr<Iface> impl_;
+};
+
+static_assert(OrderedSet<AnyOrderedSet>,
+              "the type-erased adapter must model the concept it erases");
+
+}  // namespace lfbt

@@ -1,0 +1,198 @@
+// ShardedTrie: horizontal partitioning of the paper's lock-free binary
+// trie. The universe U = {0..u-1} is split into S contiguous ranges of
+// width w = ceil(u/S); shard i owns [i*w, min((i+1)*w, u)) and is backed
+// by a fully independent LockFreeBinaryTrie — its own NodeArena, its own
+// U-ALL/RU-ALL/P-ALL announcement lists — so shards share no contended
+// cache lines (each shard's hot word is cache-line padded, and the trie
+// instances are separate heap allocations). All the contention that
+// funnels through one instance's latest-list CASes and announcement
+// traffic is divided by S for uniformly-spread workloads, and each
+// shard's O(log u) update paths shrink to O(log w).
+//
+// ---------------------------------------------------------------------
+// Linearizability
+// ---------------------------------------------------------------------
+// contains/insert/erase touch exactly one shard (keys route by x / w) and
+// inherit the inner operation's linearization point. Because shards own
+// disjoint key ranges, these single-shard histories compose by locality
+// (Herlihy & Wing): a multi-object history is linearizable iff each
+// per-object subhistory is, and each shard is an independent linearizable
+// object here.
+//
+// predecessor(y) is the one operation that may observe several shards, so
+// locality does not apply and the scan carries its own argument. The
+// query walks shards downward from the owner s0 = (y-1)/w. For each
+// shard it first records the shard's insert epoch (a counter the insert
+// wrapper bumps *after* the inner insert returns), then makes one
+// linearizable per-shard observation: either the shard's conservative
+// size counter reads 0 (see LockFreeBinaryTrie::size(): the counter never
+// undercounts live keys, so this is a true "shard empty now" observation
+// and the shard is skipped in O(1)), or the shard's own predecessor runs.
+// The first shard s* to produce a key a gives the candidate answer; the
+// whole operation linearizes at t*, the linearization point of that inner
+// observation. Afterwards the scan re-reads the epochs of every shard
+// above s* and retries from scratch if any moved.
+//
+// Why the validated answer is correct at t*: shard s* held a < y at t* by
+// the inner trie's linearizability; shards below s* are irrelevant (they
+// only own smaller keys); and for each shard s in (s*, s0] the earlier
+// observation proved "no key < y in shard s" at some t_s < t*. The only
+// way shard s could hold a key < y at t* is an insert linearized inside
+// (t_s, t*). Any insert that linearized before t_s was visible to shard
+// s's own linearizable observation; one that linearized after t_s bumps
+// the shard epoch before its wrapper returns, so either the final epoch
+// read (at t_v > t*) sees the bump — and we retry — or the insert's
+// response comes after t_v, making it concurrent with this predecessor
+// and legitimately ordered after it. Erases in higher shards only remove
+// keys and can never invalidate "no key < y there". When every shard
+// reports kNoKey the operation linearizes at shard 0's observation and
+// shards 1..s0 are validated identically. A retry happens only when an
+// epoch moved, i.e. some insert completed — system-wide progress — so the
+// structure as a whole stays lock-free.
+// ---------------------------------------------------------------------
+//
+// The shard summary/epoch words are seq_cst: they are touched once per
+// update (next to the dozen CASes the trie update already performs) and
+// once per visited shard in a predecessor, which keeps the memory-order
+// reasoning above uncomplicated at negligible cost.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <memory>
+
+#include "core/lockfree_trie.hpp"
+#include "sync/cacheline.hpp"
+
+namespace lfbt {
+
+class ShardedTrie {
+ public:
+  static constexpr int kDefaultShards = 8;
+  /// Hard cap on the shard count, matched to NodeArena's per-thread
+  /// cursor capacity (kSlotsPerThread): one trie's shard arenas get
+  /// consecutive arena ids, so with S <= 64 every shard keeps its own
+  /// allocation cursor per thread and no chunk is ever abandoned on an
+  /// arena switch. Shard counts beyond useful hardware parallelism buy
+  /// no contention relief anyway, so requests above the cap are clamped
+  /// (the width grows instead).
+  static constexpr int kMaxShards = 64;
+
+  explicit ShardedTrie(Key universe, int shards = kDefaultShards)
+      : u_(universe),
+        width_((universe + static_cast<Key>(clamped(shards)) - 1) /
+               static_cast<Key>(clamped(shards))),
+        nshards_(static_cast<int>((universe + width_ - 1) / width_)),
+        shards_(new Shard[static_cast<std::size_t>(nshards_)]) {
+    assert(universe >= 1 && shards >= 1);
+    for (int s = 0; s < nshards_; ++s) {
+      const Key base = static_cast<Key>(s) * width_;
+      shards_[s].trie =
+          std::make_unique<LockFreeBinaryTrie>(std::min(width_, u_ - base));
+    }
+  }
+
+  Key universe() const noexcept { return u_; }
+  int shard_count() const noexcept { return nshards_; }
+  Key shard_width() const noexcept { return width_; }
+  int shard_of(Key x) const noexcept { return static_cast<int>(x / width_); }
+
+  /// O(1), routed to the owning shard.
+  bool contains(Key x) {
+    assert(x >= 0 && x < u_);
+    const int s = shard_of(x);
+    return shards_[s].trie->contains(x - base(s));
+  }
+
+  /// Routed to the owning shard; bumps the shard's insert epoch after the
+  /// inner insert returns (the validation handshake documented above).
+  void insert(Key x) {
+    assert(x >= 0 && x < u_);
+    const int s = shard_of(x);
+    Shard& sh = shards_[s];
+    sh.trie->insert(x - base(s));
+    sh.ins_epoch.value.fetch_add(1);
+  }
+
+  /// Routed to the owning shard.
+  void erase(Key x) {
+    assert(x >= 0 && x < u_);
+    const int s = shard_of(x);
+    shards_[s].trie->erase(x - base(s));
+  }
+
+  /// Largest key < y, or kNoKey; y in [0, universe()]. Cross-shard scan
+  /// with epoch validation — see the header comment for the argument.
+  Key predecessor(Key y) {
+    assert(y >= 0 && y <= u_);
+    if (y <= 0) return kNoKey;
+    const int s0 = static_cast<int>((y - 1) / width_);
+    uint64_t epochs[kMaxShards];
+
+    for (;;) {
+      Key ans = kNoKey;
+      int s_ans = -1;
+      for (int s = s0; s >= 0; --s) {
+        Shard& sh = shards_[s];
+        epochs[s] = sh.ins_epoch.value.load();
+        if (sh.trie->empty()) continue;  // O(1) skip; conservative counter
+        const Key local_u = sh.trie->universe();
+        const Key ylocal = s == s0 ? std::min(y - base(s), local_u) : local_u;
+        const Key r = sh.trie->predecessor(ylocal);
+        if (r != kNoKey) {
+          ans = base(s) + r;
+          s_ans = s;
+          break;
+        }
+      }
+      // Validate every shard above the one that answered (all of them,
+      // above shard 0, when none did). Unchanged epochs pin "no key < y
+      // appeared there" across the answering observation.
+      bool valid = true;
+      for (int s = s_ans < 0 ? 1 : s_ans + 1; s <= s0; ++s) {
+        if (shards_[s].ins_epoch.value.load() != epochs[s]) {
+          valid = false;
+          break;
+        }
+      }
+      if (valid) return ans;
+    }
+  }
+
+  /// Sum of per-shard sizes; approximate under concurrency, exact at
+  /// quiescence, never an undercount (each addend is conservative).
+  std::size_t size() const noexcept {
+    std::size_t n = 0;
+    for (int s = 0; s < nshards_; ++s) n += shards_[s].trie->size();
+    return n;
+  }
+  bool empty() const noexcept { return size() == 0; }
+
+  std::size_t memory_reserved() const noexcept {
+    std::size_t n = 0;
+    for (int s = 0; s < nshards_; ++s) n += shards_[s].trie->memory_reserved();
+    return n;
+  }
+
+ private:
+  static int clamped(int shards) {
+    return shards < 1 ? 1 : (shards > kMaxShards ? kMaxShards : shards);
+  }
+
+  // Cache-line-aligned so no two shards' epoch words (or the trie
+  // pointers read on every routed op) share a line.
+  struct alignas(kCacheLine) Shard {
+    std::unique_ptr<LockFreeBinaryTrie> trie;
+    PaddedAtomic<uint64_t> ins_epoch;
+  };
+
+  Key base(int s) const noexcept { return static_cast<Key>(s) * width_; }
+
+  const Key u_;
+  const Key width_;
+  const int nshards_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace lfbt

@@ -1,5 +1,5 @@
 // Per-structure node arena — the repository's substitute for the garbage
-// collector the paper assumes (see DESIGN.md, memory-reclamation note).
+// collector the paper assumes (see README.md, memory-reclamation note).
 //
 // Properties relied on by the trie:
 //  * Nodes are never recycled while the owning structure lives, so every
@@ -39,9 +39,10 @@ class NodeArena {
   void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
     Slot& slot = slot_for_thread();
     if (slot.owner_id != id_) {
-      // Thread touched a different arena since last time (or never this
-      // one). Arena ids are never reused, so a stale slot can never be
-      // mistaken for this arena even if `this` reuses a freed address.
+      // Slot collision: a different arena mapped here since this thread
+      // last allocated from `this` (or it never did). Arena ids are never
+      // reused, so a stale slot can never be mistaken for this arena even
+      // if `this` reuses a freed address.
       slot.owner_id = id_;
       slot.chunk = nullptr;
       slot.pos = slot.end = 0;
@@ -126,13 +127,23 @@ class NodeArena {
     }
   }
 
-  // Per-thread cursors live in static storage; `owner_id` discriminates
-  // which arena a slot currently serves. A thread alternating between
-  // arenas re-chunks, which is fine for our usage (one hot arena per
-  // benchmark/test phase).
-  static Slot& slot_for_thread() {
-    static std::array<Padded<Slot>, kMaxThreads> slots{};
-    return slots[ThreadRegistry::id()].value;
+  // Per-thread cursors live in static storage, direct-mapped by arena id:
+  // each thread keeps kSlotsPerThread cursors, so interleaving allocations
+  // across several arenas — e.g. the per-shard arenas of a ShardedTrie —
+  // keeps one open chunk per arena instead of abandoning a fresh chunk on
+  // every arena switch. Consecutively-created arenas (a sharded trie's
+  // shards) map to distinct slots. On a collision the evicted arena's open
+  // chunk is abandoned: wasted until that arena dies, never leaked, and no
+  // worse than the pre-cache behaviour. Slots are padded per *thread* (not
+  // per slot); only this thread touches its group, so intra-group sharing
+  // is harmless.
+  static constexpr std::size_t kSlotsPerThread = 64;
+  struct alignas(kCacheLine) ThreadSlots {
+    std::array<Slot, kSlotsPerThread> s{};
+  };
+  Slot& slot_for_thread() const {
+    static std::array<ThreadSlots, kMaxThreads> slots{};
+    return slots[ThreadRegistry::id()].s[id_ % kSlotsPerThread];
   }
 
   const uint64_t id_ = next_id();

@@ -7,7 +7,7 @@
 //
 // Used by the baseline lock-free structures (skip list, Harris list,
 // copy-on-write universal set) to run with bounded memory. The trie itself
-// uses the per-structure arena instead (see DESIGN.md) because the paper's
+// uses the per-structure arena instead (see README.md) because the paper's
 // algorithm keeps long-lived references to logically retired nodes.
 #pragma once
 

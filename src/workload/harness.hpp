@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "shard/ordered_set.hpp"
 #include "sync/stats.hpp"
 #include "workload/workload.hpp"
 
@@ -30,6 +31,10 @@ struct BenchConfig {
   uint64_t seed = 42;
   bool sample_latency = false;
   int latency_sample_every = 64;
+  // Shard count for partitioned structures (ShardedOrderedSet, e.g.
+  // ShardedTrie). 0 keeps the structure's default; ignored by
+  // non-sharded structures.
+  int shards = 0;
 };
 
 struct BenchResult {
@@ -57,9 +62,20 @@ inline std::unique_ptr<KeyDistribution> make_distribution(const BenchConfig& cfg
   return std::make_unique<UniformDist>(cfg.universe);
 }
 
+/// Constructs a set for `cfg`: partitioned structures (ShardedOrderedSet)
+/// receive cfg.shards when it is set; everything else is built from the
+/// universe alone.
+template <OrderedSet Set>
+std::unique_ptr<Set> make_set(const BenchConfig& cfg) {
+  if constexpr (ShardedOrderedSet<Set>) {
+    if (cfg.shards > 0) return std::make_unique<Set>(cfg.universe, cfg.shards);
+  }
+  return std::make_unique<Set>(cfg.universe);
+}
+
 /// Loads the set with `prefill_keys` random keys (or half the op-touched
 /// key mass when unset) so that measurements start from a realistic size.
-template <class Set>
+template <OrderedSet Set>
 void prefill(Set& set, const BenchConfig& cfg) {
   uint64_t n = cfg.prefill_keys;
   if (n == 0) {
@@ -75,7 +91,7 @@ void prefill(Set& set, const BenchConfig& cfg) {
   for (uint64_t i = 0; i < n; ++i) set.insert(dist->sample(rng));
 }
 
-template <class Set>
+template <OrderedSet Set>
 BenchResult run_bench(Set& set, const BenchConfig& cfg) {
   std::atomic<int> ready{0};
   std::atomic<bool> go{false};
@@ -136,12 +152,13 @@ BenchResult run_bench(Set& set, const BenchConfig& cfg) {
 }
 
 /// Convenience: construct-a-set, prefill, run. Set must be constructible
-/// from (Key universe).
-template <class Set>
+/// from (Key universe); partitioned structures additionally honour
+/// cfg.shards (see make_set).
+template <OrderedSet Set>
 BenchResult bench_fresh(const BenchConfig& cfg) {
-  Set set(cfg.universe);
-  prefill(set, cfg);
-  return run_bench(set, cfg);
+  auto set = make_set<Set>(cfg);
+  prefill(*set, cfg);
+  return run_bench(*set, cfg);
 }
 
 }  // namespace lfbt

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "core/types.hpp"
+#include "shard/ordered_set.hpp"
 #include "workload/distributions.hpp"
 
 namespace lfbt {
@@ -72,7 +73,7 @@ class OpStream {
 /// Applies one op to any set implementing the common concept. The returned
 /// value is the op's observable result (for contains/predecessor) and is
 /// folded into a sink by callers so the compiler cannot elide work.
-template <class Set>
+template <OrderedSet Set>
 inline uint64_t apply_op(Set& set, const Op& op) {
   switch (op.kind) {
     case OpKind::kInsert:

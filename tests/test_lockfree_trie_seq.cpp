@@ -22,6 +22,39 @@ TEST(LockFreeTrieSeq, Basics) {
   EXPECT_FALSE(t.contains(5));
 }
 
+TEST(LockFreeTrieSeq, SizeAndEmpty) {
+  LockFreeBinaryTrie t(64);
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  t.insert(5);
+  EXPECT_EQ(t.size(), 1u);
+  t.insert(5);  // duplicate: no change
+  EXPECT_EQ(t.size(), 1u);
+  t.insert(9);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_FALSE(t.empty());
+  t.erase(5);
+  EXPECT_EQ(t.size(), 1u);
+  t.erase(5);  // absent: no change
+  EXPECT_EQ(t.size(), 1u);
+  t.erase(9);
+  EXPECT_TRUE(t.empty());
+  // Quiescent exactness against an oracle through a random update run.
+  std::set<Key> ref;
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 4000; ++i) {
+    Key k = static_cast<Key>(rng.bounded(64));
+    if (rng.bounded(2)) {
+      t.insert(k);
+      ref.insert(k);
+    } else {
+      t.erase(k);
+      ref.erase(k);
+    }
+    ASSERT_EQ(t.size(), ref.size()) << "i=" << i;
+  }
+}
+
 TEST(LockFreeTrieSeq, PredecessorSemantics) {
   LockFreeBinaryTrie t(64);
   EXPECT_EQ(t.predecessor(0), kNoKey);

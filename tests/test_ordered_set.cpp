@@ -1,0 +1,121 @@
+// The OrderedSet façade: every shipped structure models the concept, and
+// the type-erased adapter drives heterogeneous structures through one
+// code path with identical results.
+#include "shard/ordered_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "baselines/cow_universal.hpp"
+#include "baselines/harris_set.hpp"
+#include "baselines/lf_skiplist.hpp"
+#include "baselines/locked_trie.hpp"
+#include "baselines/seq_binary_trie.hpp"
+#include "baselines/versioned_trie.hpp"
+#include "core/lockfree_trie.hpp"
+#include "relaxed/relaxed_trie.hpp"
+#include "set_test_util.hpp"
+#include "shard/sharded_trie.hpp"
+#include "sync/random.hpp"
+
+namespace lfbt {
+namespace {
+
+// Every structure in the repository is interchangeable behind the concept.
+static_assert(OrderedSet<LockFreeBinaryTrie>);
+static_assert(OrderedSet<RelaxedBinaryTrie>);
+static_assert(OrderedSet<ShardedTrie>);
+static_assert(OrderedSet<LockFreeSkipList>);
+static_assert(OrderedSet<HarrisSet>);
+static_assert(OrderedSet<CowUniversalSet>);
+static_assert(OrderedSet<CoarseLockTrie>);
+static_assert(OrderedSet<RwLockTrie>);
+static_assert(OrderedSet<SeqBinaryTrie>);
+static_assert(OrderedSet<VersionedTrie>);
+
+// The sized refinement: structures with a cardinality API.
+static_assert(SizedOrderedSet<LockFreeBinaryTrie>);
+static_assert(SizedOrderedSet<ShardedTrie>);
+static_assert(SizedOrderedSet<SeqBinaryTrie>);
+// Baselines without size() must NOT accidentally satisfy the refinement.
+static_assert(!SizedOrderedSet<HarrisSet>);
+
+// Sharded refinement: only genuinely partitioned structures qualify. The
+// skip list's (universe, seed) constructor must NOT match — otherwise the
+// harness would pass cfg.shards as its RNG seed.
+static_assert(ShardedOrderedSet<ShardedTrie>);
+static_assert(!ShardedOrderedSet<LockFreeSkipList>);
+static_assert(!ShardedOrderedSet<LockFreeBinaryTrie>);
+
+TEST(OrderedSetFacade, AdapterMatchesDirectCalls) {
+  LockFreeBinaryTrie direct(64);
+  LockFreeBinaryTrie wrapped_impl(64);
+  AnyOrderedSet wrapped(wrapped_impl);
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    Key k = static_cast<Key>(rng.bounded(64));
+    switch (rng.bounded(4)) {
+      case 0:
+        direct.insert(k);
+        wrapped.insert(k);
+        break;
+      case 1:
+        direct.erase(k);
+        wrapped.erase(k);
+        break;
+      case 2:
+        ASSERT_EQ(direct.contains(k), wrapped.contains(k)) << "i=" << i;
+        break;
+      default:
+        ASSERT_EQ(direct.predecessor(k + 1), wrapped.predecessor(k + 1))
+            << "i=" << i;
+    }
+  }
+}
+
+TEST(OrderedSetFacade, HeterogeneousStructuresOneDriver) {
+  // One deterministic script against five different implementations via
+  // the same erased handle; all must agree with the std::set oracle.
+  LockFreeBinaryTrie a(128);
+  ShardedTrie b(128, 8);
+  RelaxedBinaryTrie c(128);
+  SeqBinaryTrie d(128);
+  LockFreeSkipList e(128);
+  std::vector<AnyOrderedSet> sets;
+  sets.emplace_back(a);
+  sets.emplace_back(b);
+  sets.emplace_back(c);
+  sets.emplace_back(d);
+  sets.emplace_back(e);
+
+  std::set<Key> ref;
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 4000; ++i) {
+    Key k = static_cast<Key>(rng.bounded(128));
+    switch (rng.bounded(4)) {
+      case 0:
+        ref.insert(k);
+        for (auto& s : sets) s.insert(k);
+        break;
+      case 1:
+        ref.erase(k);
+        for (auto& s : sets) s.erase(k);
+        break;
+      case 2:
+        for (auto& s : sets) {
+          ASSERT_EQ(s.contains(k), ref.count(k) > 0) << "i=" << i;
+        }
+        break;
+      default:
+        for (auto& s : sets) {
+          ASSERT_EQ(s.predecessor(k + 1), testutil::ref_predecessor(ref, k + 1))
+              << "i=" << i;
+        }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lfbt
