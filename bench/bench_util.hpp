@@ -77,6 +77,23 @@ class JsonRows {
             r.mops_per_sec));
   }
 
+  /// Record shape for traversal workloads (E10): adds the scan-window
+  /// width and the scan counters the harness collected via StepCounts.
+  void add_scan_result(const char* structure, int shards, int threads,
+                       const OpMix& mix, const char* dist, Key span,
+                       const BenchResult& r) {
+    add(fmt("{\"structure\":\"%s\",\"shards\":%d,\"threads\":%d,"
+            "\"mix\":\"%s\",\"dist\":\"%s\",\"span\":%lld,"
+            "\"total_ops\":%llu,\"elapsed_sec\":%.6f,\"mops_per_sec\":%.4f,"
+            "\"scan_ops\":%llu,\"scan_keys\":%llu}",
+            structure, shards, threads, mix.name().c_str(), dist,
+            static_cast<long long>(span),
+            static_cast<unsigned long long>(r.total_ops), r.elapsed_sec,
+            r.mops_per_sec,
+            static_cast<unsigned long long>(r.steps.scan_ops),
+            static_cast<unsigned long long>(r.steps.scan_keys)));
+  }
+
   /// Returns false (and says why on stderr) on any open/write failure, so
   /// callers can fail a CI run instead of archiving a truncated artifact.
   bool write(const char* path) const {

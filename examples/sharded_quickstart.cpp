@@ -3,14 +3,15 @@
 //   build/examples/sharded_quickstart
 //
 // Shows: constructing a ShardedTrie over a universe, how keys route to
-// shards, cross-shard predecessor queries, size()/empty(), and many
-// threads hammering disjoint-by-chance keys with no external
-// synchronisation — the same OrderedSet API as every other structure in
-// the repository.
+// shards, cross-shard predecessor/successor queries, bounded ascending
+// range scans, size()/empty(), and many threads hammering
+// disjoint-by-chance keys with no external synchronisation — the same
+// OrderedSet API as every other structure in the repository.
 #include <cstdio>
 #include <thread>
 #include <vector>
 
+#include "query/range_scan.hpp"
 #include "shard/sharded_trie.hpp"
 
 int main() {
@@ -36,6 +37,20 @@ int main() {
               static_cast<long>(set.predecessor(2 * w + 1)));
   std::printf("size() = %zu, empty() = %s\n", set.size(),
               set.empty() ? "true" : "false");
+
+  // --- Successor and range scans (src/query/) ---------------------------
+  // successor walks shards upward with the same epoch-validated skip the
+  // predecessor uses downward (each shard keeps a key-mirrored companion
+  // view, so the paper's predecessor machinery answers both directions).
+  std::printf("successor(%ld) = %ld  (cross-shard walk upward)\n",
+              static_cast<long>(100),
+              static_cast<long>(set.successor(100)));
+  // Bounded ascending scan over a window spanning several shards.
+  const auto keys =
+      lfbt::range_scan_collect(set, 0, 3 * w + 9, /*limit=*/10);
+  std::printf("range_scan([0, %ld], limit 10) ->", static_cast<long>(3 * w + 9));
+  for (lfbt::Key k : keys) std::printf(" %ld", static_cast<long>(k));
+  std::printf("\n");
 
   // --- Shared by threads, no locks --------------------------------------
   // Eight writers spray inserts across all shards while a reader keeps

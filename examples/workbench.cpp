@@ -3,14 +3,21 @@
 //
 //   workbench [structure] [threads] [ops_per_thread] [log2_universe]
 //             [insert%] [erase%] [contains%] [pred%] [zipf_theta] [shards]
+//             [succ%] [scan%] [scan_span]
 //
-//   structure: lockfree-trie | sharded-trie | relaxed-trie | skiplist |
-//              harris | coarse | rwlock | cow | versioned
+//   structure: lockfree-trie | sharded-trie | bidi-trie | relaxed-trie |
+//              skiplist | harris | coarse | rwlock | cow | versioned
+//
+// The six percentages must sum to 100. Traversal ops (succ%/scan%) need a
+// structure with the successor/range_scan surface — every structure here
+// except the predecessor-only lockfree-trie (use bidi-trie for the
+// paper's trie with its mirrored companion view).
 //
 // Examples:
 //   workbench lockfree-trie 8 100000 16 50 50 0 0
 //   workbench sharded-trie 8 100000 20 50 50 0 0 0 16
-//   workbench skiplist 4 200000 20 20 20 0 60 0.99
+//   workbench sharded-trie 8 100000 20 10 10 0 0 0 8 40 40 128
+//   workbench bidi-trie 4 200000 16 20 20 0 0 0 0 30 30 64
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +29,7 @@
 #include "baselines/locked_trie.hpp"
 #include "baselines/versioned_trie.hpp"
 #include "core/lockfree_trie.hpp"
+#include "query/bidi_trie.hpp"
 #include "relaxed/relaxed_trie.hpp"
 #include "shard/sharded_trie.hpp"
 #include "workload/harness.hpp"
@@ -30,6 +38,13 @@ namespace {
 
 template <class Set>
 int run(const lfbt::BenchConfig& cfg, const char* name) {
+  if (cfg.mix.has_traversal() && !lfbt::TraversableOrderedSet<Set>) {
+    std::fprintf(stderr,
+                 "%s has no successor/range_scan surface; drop succ%%/scan%% "
+                 "or pick bidi-trie\n",
+                 name);
+    return 2;
+  }
   lfbt::Stats::reset();
   auto res = lfbt::bench_fresh<Set>(cfg);
   std::printf("structure        : %s\n", name);
@@ -40,6 +55,12 @@ int run(const lfbt::BenchConfig& cfg, const char* name) {
   std::printf("total ops        : %lu\n", static_cast<unsigned long>(res.total_ops));
   std::printf("elapsed          : %.3f s\n", res.elapsed_sec);
   std::printf("throughput       : %.3f Mops/s\n", res.mops_per_sec);
+  if (res.steps.scan_ops > 0) {
+    std::printf("range scans      : %lu (%.2f keys/scan, span %ld)\n",
+                static_cast<unsigned long>(res.steps.scan_ops),
+                double(res.steps.scan_keys) / double(res.steps.scan_ops),
+                static_cast<long>(cfg.scan_span));
+  }
   if (res.steps.total() > 0) {
     std::printf("reads/op         : %.2f\n",
                 double(res.steps.reads) / double(res.total_ops));
@@ -69,15 +90,18 @@ int main(int argc, char** argv) {
   cfg.mix.predecessor_pct = argc > 8 ? std::atoi(argv[8]) : 25;
   cfg.zipf_theta = argc > 9 ? std::atof(argv[9]) : 0.0;
   cfg.shards = argc > 10 ? std::atoi(argv[10]) : 0;
-  if (cfg.mix.insert_pct + cfg.mix.erase_pct + cfg.mix.contains_pct +
-          cfg.mix.predecessor_pct !=
-      100) {
-    std::fprintf(stderr, "op mix must sum to 100\n");
+  cfg.mix.successor_pct = argc > 11 ? std::atoi(argv[11]) : 0;
+  cfg.mix.range_pct = argc > 12 ? std::atoi(argv[12]) : 0;
+  cfg.scan_span = argc > 13 ? std::atoi(argv[13]) : 64;
+  cfg.scan_limit = static_cast<uint32_t>(cfg.scan_span);
+  if (cfg.mix.sum() != 100) {
+    std::fprintf(stderr, "op mix must sum to 100 (got %d)\n", cfg.mix.sum());
     return 2;
   }
 
   if (structure == "lockfree-trie") return run<LockFreeBinaryTrie>(cfg, "lockfree-trie");
   if (structure == "sharded-trie") return run<ShardedTrie>(cfg, "sharded-trie");
+  if (structure == "bidi-trie") return run<BidiTrie>(cfg, "bidi-trie");
   if (structure == "relaxed-trie") return run<RelaxedBinaryTrie>(cfg, "relaxed-trie");
   if (structure == "skiplist") return run<LockFreeSkipList>(cfg, "skiplist");
   if (structure == "harris") return run<HarrisSet>(cfg, "harris");
@@ -87,7 +111,8 @@ int main(int argc, char** argv) {
   if (structure == "versioned") return run<VersionedTrie>(cfg, "versioned");
   std::fprintf(stderr,
                "unknown structure '%s' (try: lockfree-trie sharded-trie "
-               "relaxed-trie skiplist harris coarse rwlock cow versioned)\n",
+               "bidi-trie relaxed-trie skiplist harris coarse rwlock cow "
+               "versioned)\n",
                structure.c_str());
   return 2;
 }

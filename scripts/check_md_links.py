@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the documentation layer (stdlib only).
+
+Validates every inline markdown link/image in the given files (default:
+README.md, ROADMAP.md, docs/*.md from the repo root):
+
+  * relative links must point at an existing file or directory
+    (anchors are stripped; pure in-page #anchors are checked against the
+    target file's headings);
+  * absolute URLs are accepted syntactically (no network I/O — CI must
+    stay hermetic) but must use http(s).
+
+Exit status 0 when every link resolves, 1 otherwise, listing each broken
+link as file:line: message.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"!?\[(?:[^\]\\]|\\.)*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug: lowercase, drop punctuation, dash spaces."""
+    text = re.sub(r"[`*_~\[\]()]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def headings_of(path: Path) -> set:
+    slugs = set()
+    in_code = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            slugs.add(slugify(m.group(1)))
+    return slugs
+
+
+def check_file(md: Path, errors: list) -> None:
+    in_code = False
+    for lineno, line in enumerate(
+        md.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            where = f"{md}:{lineno}"
+            if target.startswith(("http://", "https://")):
+                continue
+            if target.startswith(("mailto:", "ftp:")):
+                errors.append(f"{where}: unsupported scheme in '{target}'")
+                continue
+            path_part, _, anchor = target.partition("#")
+            dest = md if not path_part else (md.parent / path_part).resolve()
+            if not dest.exists():
+                errors.append(f"{where}: broken link '{target}' "
+                              f"(no such file: {dest})")
+                continue
+            if anchor and dest.is_file() and dest.suffix == ".md":
+                if slugify(anchor) not in headings_of(dest):
+                    errors.append(f"{where}: broken anchor '#{anchor}' "
+                                  f"in {dest.name}")
+
+
+def main(argv: list) -> int:
+    root = Path(__file__).resolve().parent.parent
+    files = [Path(a) for a in argv] if argv else (
+        [root / "README.md", root / "ROADMAP.md"]
+        + sorted((root / "docs").glob("*.md"))
+    )
+    errors = []
+    checked = 0
+    for md in files:
+        if not md.exists():
+            errors.append(f"{md}: file not found")
+            continue
+        checked += 1
+        check_file(md, errors)
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"checked {checked} markdown file(s): "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

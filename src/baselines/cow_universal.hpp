@@ -8,6 +8,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
+#include <cstddef>
 #include <vector>
 
 #include "core/types.hpp"
@@ -48,6 +50,25 @@ class CowUniversalSet {
     const Version* v = current_.load(std::memory_order_acquire);
     auto it = std::upper_bound(v->keys.begin(), v->keys.end(), y);
     return it == v->keys.end() ? kNoKey : *it;
+  }
+
+  /// Ascending keys of S ∩ [lo, hi], at most `limit`, appended to `out`.
+  /// Fully linearizable scan (linearizes at the snapshot-pointer read) —
+  /// the one genuine advantage the O(n)-update universal construction
+  /// keeps over every in-place structure here.
+  std::size_t range_scan(Key lo, Key hi, std::size_t limit,
+                         std::vector<Key>& out) {
+    assert(lo >= 0 && hi >= lo);
+    ebr::Guard guard;
+    const Version* v = current_.load(std::memory_order_acquire);
+    auto it = std::lower_bound(v->keys.begin(), v->keys.end(), lo);
+    std::size_t n = 0;
+    while (n < limit && it != v->keys.end() && *it <= hi) {
+      out.push_back(*it);
+      ++n;
+      ++it;
+    }
+    return n;
   }
 
  private:

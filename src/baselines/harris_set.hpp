@@ -6,6 +6,8 @@
 
 #include <atomic>
 #include <cassert>
+#include <cstddef>
+#include <vector>
 
 #include "core/types.hpp"
 #include "sync/ebr.hpp"
@@ -96,6 +98,29 @@ class HarrisSet {
     auto [pred, curr] = search(y + 1);
     (void)pred;
     return curr == tail_ ? kNoKey : curr->key;
+  }
+
+  /// Ascending keys of S ∩ [lo, hi], at most `limit`, appended to `out`.
+  /// One position-then-walk pass over the list: unmarked nodes are
+  /// reported, marked (logically deleted) ones skipped. Weak-consistency
+  /// contract of query/range_scan.hpp — the walk holds one EBR guard, so
+  /// every traversed node stays safe to read.
+  std::size_t range_scan(Key lo, Key hi, std::size_t limit,
+                         std::vector<Key>& out) {
+    assert(lo >= 0 && hi >= lo);
+    ebr::Guard guard;
+    auto [pred, curr] = search(lo);
+    (void)pred;
+    std::size_t n = 0;
+    while (n < limit && curr != tail_ && curr->key <= hi) {
+      const uintptr_t cw = curr->next.load(std::memory_order_acquire);
+      if (!marked(cw)) {
+        out.push_back(curr->key);
+        ++n;
+      }
+      curr = strip(cw);
+    }
+    return n;
   }
 
  private:

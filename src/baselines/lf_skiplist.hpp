@@ -10,6 +10,8 @@
 #include <atomic>
 #include <bit>
 #include <cassert>
+#include <cstddef>
+#include <vector>
 
 #include "core/types.hpp"
 #include "sync/ebr.hpp"
@@ -152,6 +154,31 @@ class LockFreeSkipList {
     Node* succs[kMaxLevel];
     find(y + 1, preds, succs);
     return succs[0] == tail_ ? kNoKey : succs[0]->key;
+  }
+
+  /// Ascending keys of S ∩ [lo, hi], at most `limit`, appended to `out`.
+  /// One O(log n) positioning find, then a level-0 walk reporting
+  /// unmarked nodes (a node is logically deleted iff its own level-0 next
+  /// pointer is marked). Weak-consistency contract of
+  /// query/range_scan.hpp; one EBR guard covers the whole walk.
+  std::size_t range_scan(Key lo, Key hi, std::size_t limit,
+                         std::vector<Key>& out) {
+    assert(lo >= 0 && hi >= lo);
+    ebr::Guard guard;
+    Node* preds[kMaxLevel];
+    Node* succs[kMaxLevel];
+    find(lo, preds, succs);
+    Node* curr = succs[0];
+    std::size_t n = 0;
+    while (n < limit && curr != tail_ && curr->key <= hi) {
+      const uintptr_t cw = curr->next[0].load(std::memory_order_acquire);
+      if (!marked(cw)) {
+        out.push_back(curr->key);
+        ++n;
+      }
+      curr = strip(cw);
+    }
+    return n;
   }
 
  private:

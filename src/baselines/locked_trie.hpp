@@ -3,8 +3,10 @@
 // tries the paper's lock-free design is measured against.
 #pragma once
 
+#include <cstddef>
 #include <mutex>
 #include <shared_mutex>
+#include <vector>
 
 #include "baselines/seq_binary_trie.hpp"
 
@@ -34,6 +36,15 @@ class CoarseLockTrie {
   Key successor(Key y) {
     std::lock_guard lock(mu_);
     return trie_.successor(y);
+  }
+  /// Atomic scan: the mutex is held for the whole walk, so the result is
+  /// an exact snapshot (linearizes anywhere inside the critical section)
+  /// — the strong-consistency end of the range_scan contract, at the
+  /// usual cost of blocking every other operation meanwhile.
+  std::size_t range_scan(Key lo, Key hi, std::size_t limit,
+                         std::vector<Key>& out) {
+    std::lock_guard lock(mu_);
+    return trie_.range_scan(lo, hi, limit, out);
   }
   Key universe() const noexcept { return trie_.universe(); }
 
@@ -67,6 +78,13 @@ class RwLockTrie {
   Key successor(Key y) {
     std::shared_lock lock(mu_);
     return trie_.successor(y);
+  }
+  /// Atomic scan under the shared lock: exact snapshot, concurrent with
+  /// other readers, blocks writers for the duration.
+  std::size_t range_scan(Key lo, Key hi, std::size_t limit,
+                         std::vector<Key>& out) {
+    std::shared_lock lock(mu_);
+    return trie_.range_scan(lo, hi, limit, out);
   }
   Key universe() const noexcept { return trie_.universe(); }
 

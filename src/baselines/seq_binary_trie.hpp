@@ -8,6 +8,7 @@
 
 #include <bit>
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -131,6 +132,24 @@ class SeqBinaryTrie {
     }
     const Key found = static_cast<Key>(idx);
     return found < u_ ? found : kNoKey;
+  }
+
+  /// Ascending keys of S ∩ [lo, hi], at most `limit`, appended to `out`;
+  /// returns the number appended. Successor walk — O(m log u) for m
+  /// reported keys (contract: query/range_scan.hpp; exact here, since the
+  /// structure is sequential).
+  std::size_t range_scan(Key lo, Key hi, std::size_t limit,
+                         std::vector<Key>& out) const {
+    assert(lo >= 0 && lo < u_ && hi >= lo);
+    if (hi >= u_) hi = u_ - 1;
+    std::size_t n = 0;
+    Key k = successor(lo - 1);
+    while (n < limit && k != kNoKey && k <= hi) {
+      out.push_back(k);
+      ++n;
+      k = successor(k);
+    }
+    return n;
   }
 
  private:

@@ -20,6 +20,7 @@
 #include <atomic>
 #include <bit>
 #include <cassert>
+#include <cstddef>
 #include <vector>
 
 #include "core/types.hpp"
@@ -114,6 +115,22 @@ class VersionedTrie {
     return select(r);
   }
 
+  /// Ascending keys of S ∩ [lo, hi], at most `limit`, appended to `out`.
+  /// Fully linearizable scan: one root read pins an immutable version and
+  /// the walk (range-pruned, O(m + log u) for m reported keys) never
+  /// touches mutable state — the snapshot payoff [27]'s augmentation
+  /// design is built for.
+  std::size_t range_scan(Key lo, Key hi, std::size_t limit,
+                         std::vector<Key>& out) const {
+    assert(lo >= 0 && lo < u_ && hi >= lo);
+    if (hi >= u_) hi = u_ - 1;
+    ebr::Guard guard;
+    const VNode* v = root_.load(std::memory_order_acquire);
+    std::size_t n = 0;
+    collect(v, b_, 0, lo, hi, limit, n, out);
+    return n;
+  }
+
  private:
   struct VNode {
     std::size_t sum;
@@ -123,6 +140,27 @@ class VersionedTrie {
 
   static bool bit_at(Key x, uint32_t bit) noexcept {
     return (static_cast<uint64_t>(x) >> bit) & 1;
+  }
+
+  /// In-order walk of one immutable version, pruned to the subtrees that
+  /// intersect [lo, hi]; stops as soon as `limit` keys were collected.
+  static void collect(const VNode* v, uint32_t lvl, Key prefix, Key lo,
+                      Key hi, std::size_t limit, std::size_t& n,
+                      std::vector<Key>& out) {
+    if (v == nullptr || n >= limit) return;
+    if (lvl == 0) {
+      if (prefix >= lo && prefix <= hi) {
+        out.push_back(prefix);
+        ++n;
+      }
+      return;
+    }
+    // Subtree at (lvl, prefix) spans [prefix, prefix + 2^lvl).
+    const Key span_end = prefix + (Key{1} << lvl) - 1;
+    if (span_end < lo || prefix > hi) return;
+    collect(v->left, lvl - 1, prefix, lo, hi, limit, n, out);
+    collect(v->right, lvl - 1, prefix | (Key{1} << (lvl - 1)), lo, hi, limit,
+            n, out);
   }
 
   /// Immutable rebuild of the path to x with the leaf set/cleared.

@@ -1,0 +1,87 @@
+// MirroredTrie: the key-mirrored companion view that turns the paper's
+// predecessor machinery into a successor oracle.
+//
+// The lock-free binary trie of Section 5 answers only predecessor — the
+// whole announcement/notification design (U-ALL, RU-ALL, P-ALL, the
+// ⊥-fallback of Definition 5.1) is built around "largest key < y" and has
+// no symmetric counterpart in the paper. Instead of re-deriving that
+// machinery for the other direction, this adapter stores every key x as
+// its mirror image  m(x) = u-1-x  inside an ordinary LockFreeBinaryTrie.
+// Key order reverses under m, so
+//
+//   successor(y)  =  smallest x in S with x > y
+//                 =  m( largest m(x) in m(S) with m(x) < m(y-?) )
+//                 =  m( inner.predecessor(u-1-y) ),
+//
+// i.e. one inner predecessor call answers successor exactly, and the
+// query inherits the inner operation's linearization point *unchanged*:
+// a history of MirroredTrie operations is precisely the inner trie's
+// history with every key relabelled by the bijection m, so the Section 5
+// linearizability proof applies verbatim. Progress (lock-free updates,
+// never-helping queries) and the amortized O(ċ² + c̃ + log u) step bounds
+// carry over the same way.
+//
+// MirroredTrie is deliberately successor-only (it cannot answer
+// predecessor — that would need the inner trie's successor, which is the
+// very thing being synthesised). BidiTrie (bidi_trie.hpp) composes a
+// normal trie with this view to expose both directions; ShardedTrie keeps
+// one mirror per shard for its cross-shard successor and range scans.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+
+#include "core/lockfree_trie.hpp"
+
+namespace lfbt {
+
+class MirroredTrie {
+ public:
+  explicit MirroredTrie(Key universe) : u_(universe), inner_(universe) {}
+
+  Key universe() const noexcept { return u_; }
+
+  /// O(1), linearizable (inner Search on the mirrored key).
+  bool contains(Key x) {
+    assert(x >= 0 && x < u_);
+    return inner_.contains(mirror(x));
+  }
+
+  /// Linearized at the inner Insert's status flip.
+  void insert(Key x) {
+    assert(x >= 0 && x < u_);
+    inner_.insert(mirror(x));
+  }
+
+  /// Linearized at the inner Delete's status flip.
+  void erase(Key x) {
+    assert(x >= 0 && x < u_);
+    inner_.erase(mirror(x));
+  }
+
+  /// Smallest key > y in S, or kNoKey; y in [-1, universe()). Linearizes
+  /// at the linearization point of the single inner Predecessor call.
+  Key successor(Key y) {
+    assert(y >= -1 && y < u_);
+    if (y >= u_ - 1) return kNoKey;
+    const Key r = inner_.predecessor(u_ - 1 - y);
+    return r == kNoKey ? kNoKey : mirror(r);
+  }
+
+  /// Conservative counter semantics identical to LockFreeBinaryTrie::
+  /// size(): never an undercount, exact at quiescence.
+  std::size_t size() const noexcept { return inner_.size(); }
+  bool empty() const noexcept { return inner_.empty(); }
+
+  std::size_t memory_reserved() const noexcept {
+    return inner_.memory_reserved();
+  }
+
+ private:
+  Key mirror(Key x) const noexcept { return u_ - 1 - x; }
+
+  const Key u_;
+  LockFreeBinaryTrie inner_;
+};
+
+}  // namespace lfbt

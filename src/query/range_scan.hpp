@@ -1,0 +1,74 @@
+// Generic ordered-traversal helpers shared by the query subsystem.
+//
+// The repository-wide range-scan contract (modelled as a member on every
+// traversable structure and checked by TraversableOrderedSet):
+//
+//   std::size_t range_scan(Key lo, Key hi, std::size_t limit,
+//                          std::vector<Key>& out);
+//
+// appends to `out` at most `limit` keys of S ∩ [lo, hi] in ascending
+// order and returns how many were appended. `lo` must be in [0, u);
+// `hi >= lo` (values beyond u-1 are clamped). `limit` is literal — 0
+// scans nothing; pass kNoScanLimit for "all of them".
+//
+// Consistency: a scan is a sequence of linearizable steps, not one atomic
+// operation (the standard contract for lock-free ordered-set iteration).
+// Precisely: every reported key was in S at some instant during the scan,
+// the report is strictly ascending, and any key in [lo, hi] that is in S
+// for the entire duration of the scan is reported (unless the limit cut
+// the scan short before reaching it). Keys inserted or erased while the
+// scan runs may or may not appear depending on where the cursor is.
+// Structures with snapshot reads (CowUniversalSet, VersionedTrie) and the
+// lock-holding baselines strengthen this to a fully linearizable scan —
+// see their headers.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace lfbt {
+
+/// "No limit" sentinel for range_scan's limit parameter.
+inline constexpr std::size_t kNoScanLimit =
+    std::numeric_limits<std::size_t>::max();
+
+/// Anything with a successor query over Key (the traversal half of the
+/// ordered-set API; MirroredTrie models this without being an OrderedSet).
+template <class S>
+concept SuccessorQueryable = requires(S s, Key y) {
+  { s.successor(y) } -> std::convertible_to<Key>;
+};
+
+/// The default range-scan body: a successor walk. One linearizable
+/// successor step per reported key (plus one to detect the end), so the
+/// weak-consistency contract above holds whenever `successor` is
+/// linearizable. Used by the structures whose successor is their only
+/// ordered-traversal primitive.
+template <SuccessorQueryable S>
+std::size_t successor_range_scan(S& set, Key lo, Key hi, std::size_t limit,
+                                 std::vector<Key>& out) {
+  assert(lo >= 0 && hi >= lo);
+  std::size_t n = 0;
+  Key k = set.successor(lo - 1);
+  while (n < limit && k != kNoKey && k <= hi) {
+    out.push_back(k);
+    ++n;
+    k = set.successor(k);
+  }
+  return n;
+}
+
+/// Convenience wrapper returning a fresh vector (examples, tests).
+template <class S>
+std::vector<Key> range_scan_collect(S& set, Key lo, Key hi,
+                                    std::size_t limit = kNoScanLimit) {
+  std::vector<Key> out;
+  set.range_scan(lo, hi, limit, out);
+  return out;
+}
+
+}  // namespace lfbt

@@ -15,6 +15,10 @@
 // trie_core.hpp).
 #pragma once
 
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
 #include "relaxed/trie_core.hpp"
 
 namespace lfbt {
@@ -78,6 +82,33 @@ class RelaxedBinaryTrie {
   /// and tests: same as relaxed_predecessor (NOT linearizable; may return
   /// kBottom under concurrent updates — exact when quiescent).
   Key predecessor(Key y) { return relaxed_predecessor(y); }
+
+  /// Traversal adapter, mirroring the predecessor adapter: same as
+  /// relaxed_successor, with the same Section 4.1 relaxed contract.
+  Key successor(Key y) { return relaxed_successor(y); }
+
+  /// Ascending keys of S ∩ [lo, hi], at most `limit`, appended to `out`.
+  /// Successor walk that retries a step when it returns ⊥ (kBottom). A ⊥
+  /// is only permitted while some relevant update is concurrent
+  /// (Section 4.1), so each retry is charged to interference and the scan
+  /// is exact at quiescence — but the retry loop makes it obstruction-
+  /// free rather than wait-free, unlike every other operation here.
+  std::size_t range_scan(Key lo, Key hi, std::size_t limit,
+                         std::vector<Key>& out) {
+    assert(lo >= 0 && lo < universe() && hi >= lo);
+    if (hi >= universe()) hi = universe() - 1;
+    std::size_t n = 0;
+    Key cursor = lo - 1;
+    while (n < limit) {
+      const Key k = relaxed_successor(cursor);
+      if (k == kBottom) continue;  // interference: retry this step
+      if (k == kNoKey || k > hi) break;
+      out.push_back(k);
+      ++n;
+      cursor = k;
+    }
+    return n;
+  }
 
   /// Test hook: the interpreted bit of trie node `t` (heap index).
   bool interpreted_bit_for_test(uint64_t t) { return core_.interpreted_bit(t); }

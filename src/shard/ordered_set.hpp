@@ -14,13 +14,20 @@
 // The concept is deliberately minimal — exactly the four operations the
 // paper defines plus the universe accessor every implementation already
 // has. size()/empty() are split into SizedOrderedSet because most
-// lock-free baselines cannot support them without adding contention.
+// lock-free baselines cannot support them without adding contention, and
+// the ordered-traversal surface (successor / range_scan, the query
+// subsystem of src/query/) is split into TraversableOrderedSet because
+// the paper's trie is predecessor-only by design — it participates in
+// traversal workloads through its companion-view face (BidiTrie), not by
+// widening the core structure's API.
 #pragma once
 
+#include <cassert>
 #include <concepts>
 #include <cstddef>
 #include <memory>
 #include <type_traits>
+#include <vector>
 
 #include "core/types.hpp"
 
@@ -46,6 +53,19 @@ concept SizedOrderedSet = OrderedSet<S> && requires(const S s) {
   { s.empty() } -> std::convertible_to<bool>;
 };
 
+/// An OrderedSet with the full ordered-traversal surface of src/query/:
+/// `successor(y)` (smallest key > y, or kNoKey; y in [-1, universe()))
+/// and the bounded ascending `range_scan(lo, hi, limit, out)` whose
+/// contract — ordering, limit semantics, weak consistency under
+/// concurrent updates — is documented in query/range_scan.hpp.
+template <class S>
+concept TraversableOrderedSet =
+    OrderedSet<S> &&
+    requires(S s, Key y, std::size_t limit, std::vector<Key>& out) {
+      { s.successor(y) } -> std::convertible_to<Key>;
+      { s.range_scan(y, y, limit, out) } -> std::convertible_to<std::size_t>;
+    };
+
 /// An OrderedSet partitioned over shards, constructible from (universe,
 /// shard_count). The shard_count() requirement keeps this from matching
 /// unrelated two-argument constructors (e.g. a (universe, seed) one).
@@ -58,6 +78,13 @@ concept ShardedOrderedSet =
 
 /// Non-owning type-erased view of any OrderedSet. The referenced structure
 /// must outlive the view. Copyable views share the underlying structure.
+///
+/// Traversal (successor/range_scan) is erased too, so AnyOrderedSet
+/// itself models TraversableOrderedSet. Whether the calls actually work
+/// depends on the wrapped structure: query supports_traversal() first
+/// when the structure is picked at runtime. On a non-traversable wrappee
+/// successor returns kNoKey and range_scan returns 0 (asserting in debug
+/// builds) — a documented safe no-op, never undefined behaviour.
 class AnyOrderedSet {
  public:
   template <OrderedSet S>
@@ -68,6 +95,14 @@ class AnyOrderedSet {
   void erase(Key x) { impl_->erase(x); }
   bool contains(Key x) { return impl_->contains(x); }
   Key predecessor(Key y) { return impl_->predecessor(y); }
+  Key successor(Key y) { return impl_->successor(y); }
+  std::size_t range_scan(Key lo, Key hi, std::size_t limit,
+                         std::vector<Key>& out) {
+    return impl_->range_scan(lo, hi, limit, out);
+  }
+
+  /// True iff the wrapped structure models TraversableOrderedSet.
+  bool supports_traversal() const { return impl_->supports_traversal(); }
 
  private:
   struct Iface {
@@ -76,6 +111,10 @@ class AnyOrderedSet {
     virtual void erase(Key) = 0;
     virtual bool contains(Key) = 0;
     virtual Key predecessor(Key) = 0;
+    virtual Key successor(Key) = 0;
+    virtual std::size_t range_scan(Key, Key, std::size_t,
+                                   std::vector<Key>&) = 0;
+    virtual bool supports_traversal() const = 0;
   };
 
   template <class S>
@@ -85,6 +124,28 @@ class AnyOrderedSet {
     void erase(Key x) override { set->erase(x); }
     bool contains(Key x) override { return set->contains(x); }
     Key predecessor(Key y) override { return set->predecessor(y); }
+    Key successor(Key y) override {
+      if constexpr (TraversableOrderedSet<S>) {
+        return set->successor(y);
+      } else {
+        assert(!"successor() on a non-traversable structure");
+        (void)y;
+        return kNoKey;
+      }
+    }
+    std::size_t range_scan(Key lo, Key hi, std::size_t limit,
+                           std::vector<Key>& out) override {
+      if constexpr (TraversableOrderedSet<S>) {
+        return set->range_scan(lo, hi, limit, out);
+      } else {
+        assert(!"range_scan() on a non-traversable structure");
+        (void)lo, (void)hi, (void)limit, (void)out;
+        return 0;
+      }
+    }
+    bool supports_traversal() const override {
+      return TraversableOrderedSet<S>;
+    }
     S* set;
   };
 
@@ -93,5 +154,7 @@ class AnyOrderedSet {
 
 static_assert(OrderedSet<AnyOrderedSet>,
               "the type-erased adapter must model the concept it erases");
+static_assert(TraversableOrderedSet<AnyOrderedSet>,
+              "the adapter erases the traversal surface as well");
 
 }  // namespace lfbt

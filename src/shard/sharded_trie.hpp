@@ -51,6 +51,34 @@
 // structure as a whole stays lock-free.
 // ---------------------------------------------------------------------
 //
+// successor(y) is the exact mirror image of the predecessor scan. Each
+// shard keeps a key-mirrored companion view (MirroredTrie — one inner
+// predecessor call answers shard-local successor, see
+// query/mirrored_trie.hpp), and the cross-shard walk goes *upward* from
+// the owner shard s0 = (y+1)/w, validating the insert epochs of every
+// shard visited before the one that answered. The correctness argument is
+// the predecessor one with the direction flipped: "no key > y in shard s"
+// can only be invalidated by an insert, the insert wrapper bumps the
+// shard epoch before returning, so an unchanged epoch pins the
+// observation and a changed one forces a retry (system-wide progress —
+// still lock-free). The O(1) empty-shard skip reads the *primary* trie's
+// conservative counter: the update wrappers order primary-before-mirror
+// on insert and mirror-before-primary on erase, so the mirror's key set
+// is a subset of the primary's and "primary empty" implies "mirror
+// empty" at the same instant. The companion view makes ShardedTrie
+// updates do double work — the documented price of synthesising
+// successor from predecessor machinery (BidiTrie pays the same; a native
+// symmetric successor is a ROADMAP open item). Same-key racing updates
+// can transiently desynchronise a shard's two views exactly as described
+// in query/bidi_trie.hpp.
+//
+// range_scan(lo, hi, limit) walks shards in ascending order, skipping
+// empty ones in O(1), and runs a successor walk inside each occupied
+// shard. The scan is a sequence of linearizable steps, not one atomic
+// operation — the repository-wide weak-consistency contract documented
+// in query/range_scan.hpp (no epoch validation is needed: the contract
+// already permits missing keys inserted behind the cursor).
+//
 // The shard summary/epoch words are seq_cst: they are touched once per
 // update (next to the dozen CASes the trie update already performs) and
 // once per visited shard in a predecessor, which keeps the memory-order
@@ -61,8 +89,10 @@
 #include <cassert>
 #include <cstddef>
 #include <memory>
+#include <vector>
 
 #include "core/lockfree_trie.hpp"
+#include "query/mirrored_trie.hpp"
 #include "sync/cacheline.hpp"
 
 namespace lfbt {
@@ -71,13 +101,13 @@ class ShardedTrie {
  public:
   static constexpr int kDefaultShards = 8;
   /// Hard cap on the shard count, matched to NodeArena's per-thread
-  /// cursor capacity (kSlotsPerThread): one trie's shard arenas get
-  /// consecutive arena ids, so with S <= 64 every shard keeps its own
-  /// allocation cursor per thread and no chunk is ever abandoned on an
-  /// arena switch. Shard counts beyond useful hardware parallelism buy
-  /// no contention relief anyway, so requests above the cap are clamped
-  /// (the width grows instead).
-  static constexpr int kMaxShards = 64;
+  /// cursor capacity (kSlotsPerThread = 64): each shard owns *two* arenas
+  /// (primary trie + mirrored companion) with consecutive arena ids, so
+  /// with S <= 32 every arena keeps its own allocation cursor per thread
+  /// and no chunk is ever abandoned on an arena switch. Shard counts
+  /// beyond useful hardware parallelism buy no contention relief anyway,
+  /// so requests above the cap are clamped (the width grows instead).
+  static constexpr int kMaxShards = 32;
 
   explicit ShardedTrie(Key universe, int shards = kDefaultShards)
       : u_(universe),
@@ -88,8 +118,9 @@ class ShardedTrie {
     assert(universe >= 1 && shards >= 1);
     for (int s = 0; s < nshards_; ++s) {
       const Key base = static_cast<Key>(s) * width_;
-      shards_[s].trie =
-          std::make_unique<LockFreeBinaryTrie>(std::min(width_, u_ - base));
+      const Key local_u = std::min(width_, u_ - base);
+      shards_[s].trie = std::make_unique<LockFreeBinaryTrie>(local_u);
+      shards_[s].mirror = std::make_unique<MirroredTrie>(local_u);
     }
   }
 
@@ -105,21 +136,29 @@ class ShardedTrie {
     return shards_[s].trie->contains(x - base(s));
   }
 
-  /// Routed to the owning shard; bumps the shard's insert epoch after the
-  /// inner insert returns (the validation handshake documented above).
+  /// Routed to the owning shard: primary view first, then the mirrored
+  /// companion; bumps the shard's insert epoch after both inner inserts
+  /// return (the validation handshake documented above — the bump now
+  /// covers both directions' "no key appeared" observations).
   void insert(Key x) {
     assert(x >= 0 && x < u_);
     const int s = shard_of(x);
     Shard& sh = shards_[s];
-    sh.trie->insert(x - base(s));
+    const Key local = x - base(s);
+    sh.trie->insert(local);
+    sh.mirror->insert(local);
     sh.ins_epoch.value.fetch_add(1);
   }
 
-  /// Routed to the owning shard.
+  /// Routed to the owning shard: mirror first, then the primary (keeps
+  /// mirror membership a subset of primary membership — see header).
   void erase(Key x) {
     assert(x >= 0 && x < u_);
     const int s = shard_of(x);
-    shards_[s].trie->erase(x - base(s));
+    Shard& sh = shards_[s];
+    const Key local = x - base(s);
+    sh.mirror->erase(local);
+    sh.trie->erase(local);
   }
 
   /// Largest key < y, or kNoKey; y in [0, universe()]. Cross-shard scan
@@ -160,6 +199,72 @@ class ShardedTrie {
     }
   }
 
+  /// Smallest key > y, or kNoKey; y in [-1, universe()). Upward
+  /// cross-shard scan with epoch validation — the mirror image of
+  /// predecessor (see the header comment for the argument).
+  Key successor(Key y) {
+    assert(y >= -1 && y < u_);
+    if (y >= u_ - 1) return kNoKey;
+    const int s0 = shard_of(y + 1);
+    uint64_t epochs[kMaxShards];
+
+    for (;;) {
+      Key ans = kNoKey;
+      int s_ans = -1;
+      for (int s = s0; s < nshards_; ++s) {
+        Shard& sh = shards_[s];
+        epochs[s] = sh.ins_epoch.value.load();
+        if (sh.trie->empty()) continue;  // O(1) skip; see header
+        const Key ylocal = s == s0 ? y - base(s) : Key{-1};
+        const Key r = sh.mirror->successor(ylocal);
+        if (r != kNoKey) {
+          ans = base(s) + r;
+          s_ans = s;
+          break;
+        }
+      }
+      // Validate every shard visited before the one that answered (all
+      // but the last, when none did). Unchanged epochs pin "no key > y
+      // appeared there" across the answering observation.
+      bool valid = true;
+      const int last = s_ans < 0 ? nshards_ - 2 : s_ans - 1;
+      for (int s = s0; s <= last; ++s) {
+        if (shards_[s].ins_epoch.value.load() != epochs[s]) {
+          valid = false;
+          break;
+        }
+      }
+      if (valid) return ans;
+    }
+  }
+
+  /// Ascending keys of S ∩ [lo, hi], at most `limit`, appended to `out`;
+  /// returns the number appended. Walks shards upward with the O(1)
+  /// empty-shard skip and a successor walk inside each occupied shard.
+  /// Weak-consistency contract of query/range_scan.hpp.
+  std::size_t range_scan(Key lo, Key hi, std::size_t limit,
+                         std::vector<Key>& out) {
+    assert(lo >= 0 && lo < u_ && hi >= lo);
+    if (hi >= u_) hi = u_ - 1;
+    std::size_t n = 0;
+    for (int s = shard_of(lo); s < nshards_ && n < limit; ++s) {
+      Shard& sh = shards_[s];
+      const Key b = base(s);
+      if (b > hi) break;
+      if (sh.trie->empty()) continue;
+      const Key local_hi = std::min(hi - b, sh.trie->universe() - 1);
+      Key cursor = lo > b ? lo - b - 1 : Key{-1};
+      while (n < limit) {
+        const Key r = sh.mirror->successor(cursor);
+        if (r == kNoKey || r > local_hi) break;
+        out.push_back(b + r);
+        ++n;
+        cursor = r;
+      }
+    }
+    return n;
+  }
+
   /// Sum of per-shard sizes; approximate under concurrency, exact at
   /// quiescence, never an undercount (each addend is conservative).
   std::size_t size() const noexcept {
@@ -171,7 +276,10 @@ class ShardedTrie {
 
   std::size_t memory_reserved() const noexcept {
     std::size_t n = 0;
-    for (int s = 0; s < nshards_; ++s) n += shards_[s].trie->memory_reserved();
+    for (int s = 0; s < nshards_; ++s) {
+      n += shards_[s].trie->memory_reserved();
+      n += shards_[s].mirror->memory_reserved();
+    }
     return n;
   }
 
@@ -183,7 +291,8 @@ class ShardedTrie {
   // Cache-line-aligned so no two shards' epoch words (or the trie
   // pointers read on every routed op) share a line.
   struct alignas(kCacheLine) Shard {
-    std::unique_ptr<LockFreeBinaryTrie> trie;
+    std::unique_ptr<LockFreeBinaryTrie> trie;  // primary (predecessor) view
+    std::unique_ptr<MirroredTrie> mirror;      // successor companion view
     PaddedAtomic<uint64_t> ins_epoch;
   };
 

@@ -22,6 +22,12 @@ struct StepCounts {
   uint64_t min_writes = 0;
   uint64_t helps = 0;        // HelpActivate invocations that did work
   uint64_t trie_restarts = 0;
+  // Ordered-traversal workload counters (harness-level, not memory
+  // steps): range scans executed and keys they returned — E10 reports
+  // keys/scan and scanned-keys/s from the same StepCounts delta the
+  // other experiments already use.
+  uint64_t scan_ops = 0;
+  uint64_t scan_keys = 0;
 
   StepCounts& operator+=(const StepCounts& o) noexcept {
     reads += o.reads;
@@ -30,6 +36,8 @@ struct StepCounts {
     min_writes += o.min_writes;
     helps += o.helps;
     trie_restarts += o.trie_restarts;
+    scan_ops += o.scan_ops;
+    scan_keys += o.scan_keys;
     return *this;
   }
   StepCounts operator-(const StepCounts& o) const noexcept {
@@ -40,6 +48,8 @@ struct StepCounts {
     r.min_writes -= o.min_writes;
     r.helps -= o.helps;
     r.trie_restarts -= o.trie_restarts;
+    r.scan_ops -= o.scan_ops;
+    r.scan_keys -= o.scan_keys;
     return r;
   }
   uint64_t total() const noexcept {
@@ -59,6 +69,11 @@ class Stats {
   }
   static void count_min_write() { ++local().min_writes; }
   static void count_help() { ++local().helps; }
+  static void count_scan(uint64_t keys) {
+    auto& s = local();
+    ++s.scan_ops;
+    s.scan_keys += keys;
+  }
 
   /// Sum over all thread slots. Safe to call while threads run (values are
   /// monotone; the result is a consistent-enough snapshot for reporting).

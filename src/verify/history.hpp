@@ -20,7 +20,8 @@ struct RecordedOp {
   Key key;
   uint64_t inv = 0;
   uint64_t res = 0;
-  /// contains: 0/1; predecessor: the returned key (or kNoKey); updates: 0.
+  /// contains: 0/1; predecessor/successor: the returned key (or kNoKey);
+  /// updates: 0.
   int64_t ret = 0;
 };
 
@@ -32,26 +33,43 @@ class HistoryClock {
   std::atomic<uint64_t> clock_{1};
 };
 
-/// Runs one op against `set`, recording it into `out`.
+/// Runs one op against `set`, recording it into `out`. Query kinds the
+/// structure does not implement are guarded by `requires` checks so the
+/// template instantiates for partial-surface structures too (e.g. the
+/// successor-only MirroredTrie) — invoking an unimplemented kind at
+/// runtime records an impossible return value the checker will reject.
+/// Range scans are not single-point observations and are never recorded.
 template <class Set>
 void recorded_apply(Set& set, OpKind kind, Key key, HistoryClock& clock,
                     std::vector<RecordedOp>& out) {
   RecordedOp rec;
   rec.kind = kind;
   rec.key = key;
+  rec.ret = kUnsetPred;  // impossible answer: poisons unimplemented kinds
   rec.inv = clock.tick();
   switch (kind) {
     case OpKind::kInsert:
       set.insert(key);
+      rec.ret = 0;
       break;
     case OpKind::kErase:
       set.erase(key);
+      rec.ret = 0;
       break;
     case OpKind::kContains:
       rec.ret = set.contains(key) ? 1 : 0;
       break;
     case OpKind::kPredecessor:
-      rec.ret = set.predecessor(key);
+      if constexpr (requires { set.predecessor(key); }) {
+        rec.ret = set.predecessor(key);
+      }
+      break;
+    case OpKind::kSuccessor:
+      if constexpr (requires { set.successor(key); }) {
+        rec.ret = set.successor(key);
+      }
+      break;
+    case OpKind::kRangeScan:
       break;
   }
   rec.res = clock.tick();

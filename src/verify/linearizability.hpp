@@ -23,6 +23,15 @@ inline Key bitmask_predecessor(uint64_t state, Key y) {
   return 63 - static_cast<Key>(__builtin_clzll(below));
 }
 
+/// Successor of y in the bitmask state (keys 0..63); y in [-1, 63].
+inline Key bitmask_successor(uint64_t state, Key y) {
+  if (y >= 63) return kNoKey;
+  const uint64_t above =
+      y < 0 ? state : state & ~((uint64_t{1} << (y + 1)) - 1);
+  if (above == 0) return kNoKey;
+  return static_cast<Key>(__builtin_ctzll(above));
+}
+
 class LinearizabilityChecker {
  public:
   /// True iff `history` has a linearization starting from `init_state`.
@@ -90,6 +99,12 @@ class LinearizabilityChecker {
         return op.ret == static_cast<int64_t>((state >> op.key) & 1);
       case OpKind::kPredecessor:
         return op.ret == bitmask_predecessor(state, op.key);
+      case OpKind::kSuccessor:
+        return op.ret == bitmask_successor(state, op.key);
+      case OpKind::kRangeScan:
+        // Scans are multi-point observations, outside the single-state
+        // Wing–Gong model; histories containing them are rejected.
+        return false;
     }
     return false;
   }

@@ -38,6 +38,9 @@ class SingleWriterOracle {
     Key y;
     Key answer;
     uint64_t t2;
+    // Which directional query this records; validated against the
+    // matching bitmask oracle.
+    OpKind kind = OpKind::kPredecessor;
   };
 
   explicit SingleWriterOracle(uint64_t initial_state = 0) {
@@ -77,6 +80,22 @@ class SingleWriterOracle {
     out.push_back(q);
   }
 
+  /// Successor-direction reader: same interval logging, validated against
+  /// bitmask_successor. Sound for any structure whose successor reads the
+  /// same abstract state its updates write (single-writer runs never race
+  /// same-key updates, so the two-view composites qualify too).
+  template <class Set>
+  static void reader_successor_query(Set& set, Key y, HistoryClock& clock,
+                                     std::vector<Query>& out) {
+    Query q;
+    q.t1 = clock.tick();
+    q.y = y;
+    q.answer = set.successor(y);
+    q.t2 = clock.tick();
+    q.kind = OpKind::kSuccessor;
+    out.push_back(q);
+  }
+
   /// Post-join validation. Returns the index of the first invalid query,
   /// or -1 if all are consistent with some overlapping version.
   std::ptrdiff_t validate(const std::vector<Query>& queries) const {
@@ -93,7 +112,10 @@ class SingleWriterOracle {
       const uint64_t live_until =
           j + 1 < versions_.size() ? versions_[j + 1].res : ~uint64_t{0};
       if (live_from >= q.t2 || q.t1 >= live_until) continue;
-      if (bitmask_predecessor(versions_[j].state, q.y) == q.answer) return true;
+      const Key expect = q.kind == OpKind::kSuccessor
+                             ? bitmask_successor(versions_[j].state, q.y)
+                             : bitmask_predecessor(versions_[j].state, q.y);
+      if (expect == q.answer) return true;
     }
     return false;
   }

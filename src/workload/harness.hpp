@@ -8,6 +8,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -31,6 +32,10 @@ struct BenchConfig {
   uint64_t seed = 42;
   bool sample_latency = false;
   int latency_sample_every = 64;
+  // Shape of kRangeScan ops (see OpStream): window width and per-scan
+  // report cap. Ignored by mixes with range_pct == 0.
+  Key scan_span = 64;
+  uint32_t scan_limit = 64;
   // Shard count for partitioned structures (ShardedOrderedSet, e.g.
   // ShardedTrie). 0 keeps the structure's default; ignored by
   // non-sharded structures.
@@ -93,6 +98,18 @@ void prefill(Set& set, const BenchConfig& cfg) {
 
 template <OrderedSet Set>
 BenchResult run_bench(Set& set, const BenchConfig& cfg) {
+  // A traversal mix against a structure without the traversal surface
+  // would "run" as counted no-ops (see apply_op) and report a fantasy
+  // throughput; refuse loudly instead.
+  if constexpr (!TraversableOrderedSet<Set>) {
+    if (cfg.mix.has_traversal()) {
+      std::fprintf(stderr,
+                   "run_bench: mix %s needs successor/range_scan but the "
+                   "structure does not model TraversableOrderedSet\n",
+                   cfg.mix.name().c_str());
+      std::abort();
+    }
+  }
   std::atomic<int> ready{0};
   std::atomic<bool> go{false};
   std::vector<std::thread> workers;
@@ -104,7 +121,8 @@ BenchResult run_bench(Set& set, const BenchConfig& cfg) {
   for (int t = 0; t < cfg.threads; ++t) {
     workers.emplace_back([&, t] {
       auto dist = make_distribution(cfg);
-      OpStream stream(cfg.mix, *dist, cfg.seed + 1000003ull * (t + 1));
+      OpStream stream(cfg.mix, *dist, cfg.seed + 1000003ull * (t + 1),
+                      cfg.scan_span, cfg.scan_limit);
       ready.fetch_add(1);
       while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
       uint64_t local_sink = 0;

@@ -1,19 +1,36 @@
 // Workload specification: operation mixes and per-thread deterministic
 // operation streams over a key distribution.
+//
+// The op surface matches the repository-wide ordered-set API: the four
+// paper operations plus the src/query/ traversal pair (successor and
+// bounded range scans). Traversal ops default to 0% so every pre-existing
+// mix literal keeps its meaning, and apply_op only compiles traversal
+// calls for structures that model TraversableOrderedSet — running a
+// traversal mix against a predecessor-only structure is rejected by the
+// harness up front (see run_bench) instead of silently measuring no-ops.
 #pragma once
 
 #include <cassert>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/types.hpp"
 #include "shard/ordered_set.hpp"
+#include "sync/stats.hpp"
 #include "workload/distributions.hpp"
 
 namespace lfbt {
 
-enum class OpKind : uint8_t { kInsert, kErase, kContains, kPredecessor };
+enum class OpKind : uint8_t {
+  kInsert,
+  kErase,
+  kContains,
+  kPredecessor,
+  kSuccessor,
+  kRangeScan,
+};
 
 /// Percentages; must sum to 100.
 struct OpMix {
@@ -21,11 +38,25 @@ struct OpMix {
   int erase_pct = 25;
   int contains_pct = 25;
   int predecessor_pct = 25;
+  int successor_pct = 0;
+  int range_pct = 0;
 
+  int sum() const {
+    return insert_pct + erase_pct + contains_pct + predecessor_pct +
+           successor_pct + range_pct;
+  }
+  bool has_traversal() const { return successor_pct > 0 || range_pct > 0; }
+
+  /// Stable short name; the traversal fields appear only when nonzero so
+  /// every pre-existing mix keeps its historical name (and JSON key).
   std::string name() const {
-    return "i" + std::to_string(insert_pct) + "/d" + std::to_string(erase_pct) +
-           "/s" + std::to_string(contains_pct) + "/p" +
-           std::to_string(predecessor_pct);
+    std::string n = "i" + std::to_string(insert_pct) + "/d" +
+                    std::to_string(erase_pct) + "/s" +
+                    std::to_string(contains_pct) + "/p" +
+                    std::to_string(predecessor_pct);
+    if (successor_pct > 0) n += "/S" + std::to_string(successor_pct);
+    if (range_pct > 0) n += "/r" + std::to_string(range_pct);
+    return n;
   }
 };
 
@@ -33,46 +64,73 @@ inline constexpr OpMix kUpdateHeavy{50, 50, 0, 0};
 inline constexpr OpMix kSearchHeavy{10, 10, 80, 0};
 inline constexpr OpMix kPredHeavy{20, 20, 0, 60};
 inline constexpr OpMix kBalanced{25, 25, 25, 25};
+inline constexpr OpMix kSuccHeavy{20, 20, 0, 0, 60, 0};
+inline constexpr OpMix kScanHeavy{10, 10, 0, 0, 0, 80};
+inline constexpr OpMix kTraversalMix{15, 15, 10, 20, 20, 20};
 
 struct Op {
   OpKind kind;
   Key key;
+  // kRangeScan only: scan [key, hi] reporting at most `limit` keys.
+  Key hi = 0;
+  uint32_t limit = 0;
 };
 
-/// Deterministic per-thread operation stream.
+/// Deterministic per-thread operation stream. `scan_span` is the width of
+/// the key window a kRangeScan op covers ([k, k + span - 1], clamped to
+/// the universe); `scan_limit` caps how many keys one scan may report.
 class OpStream {
  public:
-  OpStream(const OpMix& mix, KeyDistribution& dist, uint64_t seed)
-      : mix_(mix), dist_(&dist), rng_(seed) {
-    assert(mix.insert_pct + mix.erase_pct + mix.contains_pct +
-               mix.predecessor_pct ==
-           100);
+  OpStream(const OpMix& mix, KeyDistribution& dist, uint64_t seed,
+           Key scan_span = 64, uint32_t scan_limit = 64)
+      : mix_(mix),
+        dist_(&dist),
+        rng_(seed),
+        scan_span_(scan_span < 1 ? 1 : scan_span),
+        scan_limit_(scan_limit) {
+    assert(mix.sum() == 100);
   }
 
   Op next() {
     const auto roll = static_cast<int>(rng_.bounded(100));
     OpKind kind;
-    if (roll < mix_.insert_pct) {
+    int acc = mix_.insert_pct;
+    if (roll < acc) {
       kind = OpKind::kInsert;
-    } else if (roll < mix_.insert_pct + mix_.erase_pct) {
+    } else if (roll < (acc += mix_.erase_pct)) {
       kind = OpKind::kErase;
-    } else if (roll < mix_.insert_pct + mix_.erase_pct + mix_.contains_pct) {
+    } else if (roll < (acc += mix_.contains_pct)) {
       kind = OpKind::kContains;
-    } else {
+    } else if (roll < (acc += mix_.predecessor_pct)) {
       kind = OpKind::kPredecessor;
+    } else if (roll < (acc += mix_.successor_pct)) {
+      kind = OpKind::kSuccessor;
+    } else {
+      kind = OpKind::kRangeScan;
     }
-    return {kind, dist_->sample(rng_)};
+    Op op{kind, dist_->sample(rng_), 0, 0};
+    if (kind == OpKind::kRangeScan) {
+      const Key last = dist_->range() - 1;
+      op.hi = op.key > last - scan_span_ + 1 ? last : op.key + scan_span_ - 1;
+      op.limit = scan_limit_;
+    }
+    return op;
   }
 
  private:
   OpMix mix_;
   KeyDistribution* dist_;
   Xoshiro256 rng_;
+  Key scan_span_;
+  uint32_t scan_limit_;
 };
 
 /// Applies one op to any set implementing the common concept. The returned
-/// value is the op's observable result (for contains/predecessor) and is
-/// folded into a sink by callers so the compiler cannot elide work.
+/// value is the op's observable result (for queries) and is folded into a
+/// sink by callers so the compiler cannot elide work. Traversal ops are
+/// compiled only for TraversableOrderedSet structures; on any other
+/// structure they are a counted-as-zero no-op (the harness rejects such
+/// mixes before a run starts, so this is belt-and-braces).
 template <OrderedSet Set>
 inline uint64_t apply_op(Set& set, const Op& op) {
   switch (op.kind) {
@@ -86,6 +144,26 @@ inline uint64_t apply_op(Set& set, const Op& op) {
       return set.contains(op.key) ? 3 : 4;
     case OpKind::kPredecessor:
       return static_cast<uint64_t>(set.predecessor(op.key) + 2);
+    case OpKind::kSuccessor:
+      if constexpr (TraversableOrderedSet<Set>) {
+        return static_cast<uint64_t>(set.successor(op.key) + 2);
+      } else {
+        assert(!"successor op on a non-traversable structure");
+        return 0;
+      }
+    case OpKind::kRangeScan:
+      if constexpr (TraversableOrderedSet<Set>) {
+        thread_local std::vector<Key> scratch;
+        scratch.clear();
+        const std::size_t n =
+            set.range_scan(op.key, op.hi, op.limit, scratch);
+        Stats::count_scan(n);
+        return static_cast<uint64_t>(n) +
+               (n > 0 ? static_cast<uint64_t>(scratch.back()) : 0);
+      } else {
+        assert(!"range-scan op on a non-traversable structure");
+        return 0;
+      }
   }
   return 0;
 }

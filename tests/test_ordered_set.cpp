@@ -15,6 +15,8 @@
 #include "baselines/seq_binary_trie.hpp"
 #include "baselines/versioned_trie.hpp"
 #include "core/lockfree_trie.hpp"
+#include "query/bidi_trie.hpp"
+#include "query/mirrored_trie.hpp"
 #include "relaxed/relaxed_trie.hpp"
 #include "set_test_util.hpp"
 #include "shard/sharded_trie.hpp"
@@ -49,6 +51,24 @@ static_assert(ShardedOrderedSet<ShardedTrie>);
 static_assert(!ShardedOrderedSet<LockFreeSkipList>);
 static_assert(!ShardedOrderedSet<LockFreeBinaryTrie>);
 
+// Traversal refinement (the src/query/ surface): every baseline, the
+// relaxed trie, the sharded trie and the companion-view BidiTrie carry
+// successor + range_scan. The paper's trie is predecessor-only BY DESIGN
+// — it must NOT satisfy the refinement (BidiTrie is its traversal face),
+// and the successor-only MirroredTrie is not even an OrderedSet.
+static_assert(TraversableOrderedSet<BidiTrie>);
+static_assert(TraversableOrderedSet<ShardedTrie>);
+static_assert(TraversableOrderedSet<RelaxedBinaryTrie>);
+static_assert(TraversableOrderedSet<LockFreeSkipList>);
+static_assert(TraversableOrderedSet<HarrisSet>);
+static_assert(TraversableOrderedSet<CowUniversalSet>);
+static_assert(TraversableOrderedSet<CoarseLockTrie>);
+static_assert(TraversableOrderedSet<RwLockTrie>);
+static_assert(TraversableOrderedSet<SeqBinaryTrie>);
+static_assert(TraversableOrderedSet<VersionedTrie>);
+static_assert(!TraversableOrderedSet<LockFreeBinaryTrie>);
+static_assert(!OrderedSet<MirroredTrie>);
+
 TEST(OrderedSetFacade, AdapterMatchesDirectCalls) {
   LockFreeBinaryTrie direct(64);
   LockFreeBinaryTrie wrapped_impl(64);
@@ -71,6 +91,43 @@ TEST(OrderedSetFacade, AdapterMatchesDirectCalls) {
       default:
         ASSERT_EQ(direct.predecessor(k + 1), wrapped.predecessor(k + 1))
             << "i=" << i;
+    }
+  }
+}
+
+TEST(OrderedSetFacade, AdapterErasesTraversal) {
+  // Traversal calls through the erased handle match direct calls, and
+  // supports_traversal() reports the wrapped structure's real surface.
+  ShardedTrie direct(128, 8);
+  ShardedTrie wrapped_impl(128, 8);
+  AnyOrderedSet wrapped(wrapped_impl);
+  EXPECT_TRUE(wrapped.supports_traversal());
+  LockFreeBinaryTrie bare(128);
+  EXPECT_FALSE(AnyOrderedSet(bare).supports_traversal());
+
+  Xoshiro256 rng(23);
+  std::vector<Key> a, b;
+  for (int i = 0; i < 4000; ++i) {
+    Key k = static_cast<Key>(rng.bounded(128));
+    switch (rng.bounded(4)) {
+      case 0:
+        direct.insert(k);
+        wrapped.insert(k);
+        break;
+      case 1:
+        direct.erase(k);
+        wrapped.erase(k);
+        break;
+      case 2:
+        ASSERT_EQ(direct.successor(k - 1), wrapped.successor(k - 1))
+            << "i=" << i;
+        break;
+      default:
+        a.clear();
+        b.clear();
+        direct.range_scan(k, k + 40, 16, a);
+        wrapped.range_scan(k, k + 40, 16, b);
+        ASSERT_EQ(a, b) << "i=" << i;
     }
   }
 }
@@ -113,6 +170,72 @@ TEST(OrderedSetFacade, HeterogeneousStructuresOneDriver) {
           ASSERT_EQ(s.predecessor(k + 1), testutil::ref_predecessor(ref, k + 1))
               << "i=" << i;
         }
+    }
+  }
+}
+
+TEST(OrderedSetFacade, HeterogeneousTraversalOneDriver) {
+  // Every traversable structure in the repository behind one erased
+  // handle, driven through the full six-op surface against std::set.
+  // (The paper's predecessor-only trie participates as BidiTrie.)
+  BidiTrie a(128);
+  ShardedTrie b(128, 8);
+  RelaxedBinaryTrie c(128);
+  SeqBinaryTrie d(128);
+  LockFreeSkipList e(128);
+  HarrisSet f(128);
+  CowUniversalSet g(128);
+  VersionedTrie h(128);
+  CoarseLockTrie i_(128);
+  RwLockTrie j(128);
+  std::vector<AnyOrderedSet> sets;
+  sets.emplace_back(a);
+  sets.emplace_back(b);
+  sets.emplace_back(c);
+  sets.emplace_back(d);
+  sets.emplace_back(e);
+  sets.emplace_back(f);
+  sets.emplace_back(g);
+  sets.emplace_back(h);
+  sets.emplace_back(i_);
+  sets.emplace_back(j);
+  for (auto& s : sets) ASSERT_TRUE(s.supports_traversal());
+
+  std::set<Key> ref;
+  Xoshiro256 rng(29);
+  std::vector<Key> got;
+  for (int i = 0; i < 3000; ++i) {
+    Key k = static_cast<Key>(rng.bounded(128));
+    switch (rng.bounded(4)) {
+      case 0:
+        ref.insert(k);
+        for (auto& s : sets) s.insert(k);
+        break;
+      case 1:
+        ref.erase(k);
+        for (auto& s : sets) s.erase(k);
+        break;
+      case 2: {
+        auto it = ref.upper_bound(k - 1);
+        const Key want = it == ref.end() ? kNoKey : *it;
+        for (auto& s : sets) {
+          ASSERT_EQ(s.successor(k - 1), want) << "i=" << i;
+        }
+        break;
+      }
+      default: {
+        const Key hi = std::min<Key>(k + 20, 127);
+        std::vector<Key> want;
+        for (auto it = ref.lower_bound(k);
+             it != ref.end() && *it <= hi && want.size() < 8; ++it) {
+          want.push_back(*it);
+        }
+        for (auto& s : sets) {
+          got.clear();
+          s.range_scan(k, hi, 8, got);
+          ASSERT_EQ(got, want) << "i=" << i << " lo=" << k << " hi=" << hi;
+        }
+      }
     }
   }
 }
