@@ -1,11 +1,12 @@
 // E10: ordered traversal — successor and bounded range-scan throughput
 // across scan-window width × threads × key distributions × structures.
 //
-// Subsystem claims under test (src/query/):
-//  * the key-mirrored companion view answers successor at predecessor
-//    cost, so BidiTrie/ShardedTrie traversal throughput tracks their E9
-//    predecessor throughput (minus the doubled update cost of keeping the
-//    mirror);
+// Subsystem claims under test (the query surface):
+//  * the native symmetric successor answers at predecessor cost — the
+//    same announcement machinery reflected through the key order — so
+//    BidiTrie/ShardedTrie traversal throughput tracks their E9
+//    predecessor throughput with no doubled update work (E11 measures
+//    the update-side win directly);
 //  * ShardedTrie range scans touch only the shards a window intersects
 //    (plus the O(1) empty-shard skip), so for windows narrower than a
 //    shard the scan cost is independent of S, while successor pays the
@@ -77,7 +78,7 @@ int main() {
   using namespace lfbt;
   bench::header(
       "E10: ordered traversal — successor + bounded range scans",
-      "the mirrored companion view prices successor at predecessor cost, "
+      "the native symmetric successor prices successor at predecessor cost, "
       "and sharded scans touch only the shards a window intersects");
 
   BenchConfig base;

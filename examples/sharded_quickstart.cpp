@@ -40,8 +40,8 @@ int main() {
 
   // --- Successor and range scans (src/query/) ---------------------------
   // successor walks shards upward with the same epoch-validated skip the
-  // predecessor uses downward (each shard keeps a key-mirrored companion
-  // view, so the paper's predecessor machinery answers both directions).
+  // predecessor uses downward (each shard's trie answers both directions
+  // natively — see core/lockfree_trie.hpp, the symmetric successor).
   std::printf("successor(%ld) = %ld  (cross-shard walk upward)\n",
               static_cast<long>(100),
               static_cast<long>(set.successor(100)));

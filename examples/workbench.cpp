@@ -8,16 +8,15 @@
 //   structure: lockfree-trie | sharded-trie | bidi-trie | relaxed-trie |
 //              skiplist | harris | coarse | rwlock | cow | versioned
 //
-// The six percentages must sum to 100. Traversal ops (succ%/scan%) need a
-// structure with the successor/range_scan surface — every structure here
-// except the predecessor-only lockfree-trie (use bidi-trie for the
-// paper's trie with its mirrored companion view).
+// The six percentages must sum to 100. Every structure here carries the
+// full traversal surface (succ%/scan%) — the core trie answers successor
+// natively, and bidi-trie is a retained alias for it.
 //
 // Examples:
 //   workbench lockfree-trie 8 100000 16 50 50 0 0
+//   workbench lockfree-trie 4 200000 16 20 20 0 0 0 0 30 30 64
 //   workbench sharded-trie 8 100000 20 50 50 0 0 0 16
 //   workbench sharded-trie 8 100000 20 10 10 0 0 0 8 40 40 128
-//   workbench bidi-trie 4 200000 16 20 20 0 0 0 0 30 30 64
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,8 +39,7 @@ template <class Set>
 int run(const lfbt::BenchConfig& cfg, const char* name) {
   if (cfg.mix.has_traversal() && !lfbt::TraversableOrderedSet<Set>) {
     std::fprintf(stderr,
-                 "%s has no successor/range_scan surface; drop succ%%/scan%% "
-                 "or pick bidi-trie\n",
+                 "%s has no successor/range_scan surface; drop succ%%/scan%%\n",
                  name);
     return 2;
   }

@@ -24,9 +24,20 @@ void erase_node(std::vector<UpdateNode*>& v, const UpdateNode* n) {
   v.erase(std::remove(v.begin(), v.end(), n), v.end());
 }
 
-Key max_key(const std::vector<UpdateNode*>& v, Key acc) {
-  for (const UpdateNode* n : v) acc = std::max(acc, n->key);
-  return acc;
+/// Directional candidate combiner: keeps the largest key for predecessor
+/// queries and the smallest for successor queries; kNoKey means "no
+/// candidate yet" and never beats a real key.
+void consider(Key& best, Key cand, QueryDir dir) {
+  if (cand == kNoKey) return;
+  if (best == kNoKey) {
+    best = cand;
+  } else {
+    best = dir == QueryDir::kPred ? std::max(best, cand) : std::min(best, cand);
+  }
+}
+
+void consider_all(Key& best, const std::vector<UpdateNode*>& v, QueryDir dir) {
+  for (const UpdateNode* n : v) consider(best, n->key, dir);
 }
 
 }  // namespace
@@ -34,7 +45,8 @@ Key max_key(const std::vector<UpdateNode*>& v, Key acc) {
 LockFreeBinaryTrie::LockFreeBinaryTrie(Key universe)
     : core_(universe, arena_),
       uall_(arena_, kUall, /*descending=*/false),
-      ruall_(arena_, kRuall, /*descending=*/true) {}
+      ruall_(arena_, kRuall, /*descending=*/true),
+      suall_(arena_, kSuall, /*descending=*/false) {}
 
 bool LockFreeBinaryTrie::contains(Key x) {
   assert(x >= 0 && x < core_.universe());
@@ -42,16 +54,19 @@ bool LockFreeBinaryTrie::contains(Key x) {
 }
 
 void LockFreeBinaryTrie::announce(UpdateNode* u) {
-  // U-ALL before RU-ALL; retract() keeps the same order. Lemma 5.19's
-  // argument needs visible U-ALL presence to imply visible RU-ALL
-  // presence once activated.
+  // U-ALL before RU-ALL before SU-ALL; retract() keeps the same order.
+  // Lemma 5.19's argument needs visible U-ALL presence to imply visible
+  // RU-ALL presence once activated; the mirrored argument for successor
+  // needs the same of the SU-ALL, and both hold under this one ordering.
   uall_.insert(u);
   ruall_.insert(u);
+  suall_.insert(u);
 }
 
 void LockFreeBinaryTrie::retract(UpdateNode* u) {
   uall_.remove(u);
   ruall_.remove(u);
+  suall_.remove(u);
 }
 
 // Paper l.128–136.
@@ -95,26 +110,34 @@ void LockFreeBinaryTrie::insert(Key x) {
   i_node->status.store(UpdateNode::kActive);       // l.174 — linearization
   i_node->latest_next.store(nullptr);              // l.175
   core_.insert_binary_trie(i_node);                // l.176
-  notify_pred_ops(i_node);                         // l.177
+  notify_query_ops(i_node);                        // l.177
   i_node->completed.store(true);                   // l.178
   retract(i_node);                                 // l.179
 }
 
-// Paper l.181–206.
+// Paper l.181–206, with the successor-direction embedded queries run
+// symmetrically beside the paper's embedded predecessors: delSucc before
+// the claiming CAS, delSucc2 after activation and before
+// DeleteBinaryTrie — so, like delPred2 (l.201 precedes l.203), delSucc2
+// is always written before this DEL node can reach a notify list.
 void LockFreeBinaryTrie::erase(Key x) {
   assert(x >= 0 && x < core_.universe());
   UpdateNode* i_node = core_.find_latest(x);
   if (i_node->type != NodeType::kIns) return;  // l.183: x not in S
-  auto [del_pred, p_node1] = pred_helper(x);   // l.184 — first embedded pred
+  auto [del_pred, p_node1] = query_helper(x, QueryDir::kPred);  // l.184
+  auto [del_succ, s_node1] = query_helper(x, QueryDir::kSucc);  // mirror
   auto* d_node = arena_.create<DelNode>(x, core_.b());
   d_node->latest_next.store(i_node);  // l.187
   d_node->del_pred = del_pred;        // l.188
   d_node->del_pred_node = p_node1;    // l.189
+  d_node->del_succ = del_succ;        // mirror of l.188
+  d_node->del_succ_node = s_node1;    // mirror of l.189
   i_node->latest_next.store(nullptr); // l.190
-  notify_pred_ops(i_node);            // l.191 — help previous Insert notify
+  notify_query_ops(i_node);           // l.191 — help previous Insert notify
   if (!core_.cas_latest(x, i_node, d_node)) {
     help_activate(core_.read_latest(x));  // l.193
     pall_.remove(p_node1);                // l.194
+    pall_.remove(s_node1);
     return;
   }
   announce(d_node);                               // l.196
@@ -124,17 +147,23 @@ void LockFreeBinaryTrie::erase(Key x) {
     tg->stop.store(true);
   }
   d_node->latest_next.store(nullptr);             // l.199
-  auto [del_pred2, p_node2] = pred_helper(x);     // l.200 — second embedded
+  auto [del_pred2, p_node2] = query_helper(x, QueryDir::kPred);  // l.200
+  auto [del_succ2, s_node2] = query_helper(x, QueryDir::kSucc);  // mirror
   d_node->del_pred2.store(del_pred2);             // l.201
+  d_node->del_succ2.store(del_succ2);             // mirror of l.201
   core_.delete_binary_trie(d_node);               // l.202
-  notify_pred_ops(d_node);                        // l.203
+  notify_query_ops(d_node);                       // l.203
   d_node->completed.store(true);                  // l.204
   retract(d_node);                                // l.205
   pall_.remove(p_node1);                          // l.206
+  pall_.remove(s_node1);
   pall_.remove(p_node2);
+  pall_.remove(s_node2);
 }
 
 // Paper l.137–145. Collects first-activated update nodes with key < x.
+// The U-ALL is ascending, so the relevant cells are a prefix and the walk
+// can stop at the first cell with key >= x.
 LockFreeBinaryTrie::UallSets LockFreeBinaryTrie::traverse_uall(Key x) {
   UallSets out;
   for (AnnCell* c = uall_.next_visible(uall_.head());
@@ -148,25 +177,57 @@ LockFreeBinaryTrie::UallSets LockFreeBinaryTrie::traverse_uall(Key x) {
   return out;
 }
 
-// Paper l.146–155.
-void LockFreeBinaryTrie::notify_pred_ops(UpdateNode* u) {
-  UallSets sets = traverse_uall(kPosInf);  // l.147
+// Successor mirror of traverse_uall: first-activated update nodes with
+// key > x. The relevant cells are a *suffix* of the ascending U-ALL, so
+// the walk spans the whole list and filters (cost O(length of U-ALL),
+// the same bound the prefix walk has in the worst case).
+LockFreeBinaryTrie::UallSets LockFreeBinaryTrie::traverse_uall_above(Key x) {
+  UallSets out;
+  for (AnnCell* c = uall_.next_visible(uall_.head()); c != uall_.tail();
+       c = uall_.next_visible(c)) {
+    Stats::count_read();
+    if (c->key <= x) continue;
+    UpdateNode* u = c->node;
+    if (u->status.load() != UpdateNode::kInactive && core_.first_activated(u)) {
+      push_unique(u->type == NodeType::kIns ? out.ins : out.del, u);
+    }
+  }
+  return out;
+}
+
+// Paper l.146–155, serving both query directions: the threshold is the
+// target's current position in *its* list (RU-ALL for predecessor ops,
+// SU-ALL for successor ops) and the recorded U-ALL extremum is the
+// directional one (largest INS key below / smallest INS key above the
+// target's key).
+void LockFreeBinaryTrie::notify_query_ops(UpdateNode* u) {
+  UallSets sets = traverse_uall(kPosInf);  // l.147 — ascending, all keys
   for (PredecessorNode* p = pall_.first_live(); p != nullptr;
        p = PAll::next_live(p)) {
     if (!core_.first_activated(u)) return;  // l.149
     auto* n = arena_.create<NotifyNode>();
     n->key = u->key;
     n->update_node = u;
-    // l.153: INS node in the U-ALL snapshot with largest key < p->key.
-    n->update_node_max = nullptr;
-    for (auto it = sets.ins.rbegin(); it != sets.ins.rend(); ++it) {
-      if ((*it)->key < p->key) {
-        n->update_node_max = *it;
-        break;
+    n->update_node_ext = nullptr;
+    if (p->dir == QueryDir::kPred) {
+      // l.153: INS node in the U-ALL snapshot with largest key < p->key.
+      for (auto it = sets.ins.rbegin(); it != sets.ins.rend(); ++it) {
+        if ((*it)->key < p->key) {
+          n->update_node_ext = *it;
+          break;
+        }
+      }
+    } else {
+      // Mirror: INS node with smallest key > p->key (sets.ins ascending).
+      for (UpdateNode* cand : sets.ins) {
+        if (cand->key > p->key) {
+          n->update_node_ext = cand;
+          break;
+        }
       }
     }
-    // l.154: the predecessor's current RU-ALL position key.
-    AnnCell* pos = AnnounceList::strip(p->ruall_position.read());
+    // l.154: the query op's current position-list key.
+    AnnCell* pos = AnnounceList::strip(p->announce_position.read());
     n->notify_threshold = pos->key;
     // l.156–161: publish, revalidating first-activation before the CAS.
     bool sent = NotifyList::push(p, n, [&] { return core_.first_activated(u); });
@@ -174,36 +235,50 @@ void LockFreeBinaryTrie::notify_pred_ops(UpdateNode* u) {
   }
 }
 
-// Paper l.257–269. Advances p->ruall_position with atomic copies and
-// collects first-activated update nodes with key < p->key.
-void LockFreeBinaryTrie::traverse_ruall(PredecessorNode* p,
-                                        std::vector<UpdateNode*>& ins,
-                                        std::vector<UpdateNode*>& del) {
+// Paper l.257–269 and its mirror. Advances p->announce_position with
+// atomic copies and collects first-activated update nodes on p's side of
+// its key: key < p->key walking the descending RU-ALL for predecessor
+// ops, key > p->key walking the ascending SU-ALL for successor ops.
+void LockFreeBinaryTrie::traverse_position_list(PredecessorNode* p,
+                                                std::vector<UpdateNode*>& ins,
+                                                std::vector<UpdateNode*>& del) {
+  const bool is_pred = p->dir == QueryDir::kPred;
+  AnnounceList& list = is_pred ? ruall_ : suall_;
+  const int slot = is_pred ? kRuall : kSuall;
   const Key y = p->key;
-  AnnCell* u = AnnounceList::strip(p->ruall_position.read());
+  AnnCell* u = AnnounceList::strip(p->announce_position.read());
   do {
-    p->ruall_position.copy(ruall_.next_word(u));  // l.262 — atomic copy
-    u = AnnounceList::strip(p->ruall_position.read());
+    p->announce_position.copy(list.next_word(u));  // l.262 — atomic copy
+    u = AnnounceList::strip(p->announce_position.read());
     Stats::count_read();
-    if (u != ruall_.tail() && u->key < y) {
+    if (u != list.tail() && (is_pred ? u->key < y : u->key > y)) {
       UpdateNode* n = u->node;
       // Canonicity check (`ann_cell == u`) filters cells spliced by
       // helpers that lost the announcement claim; see announce_list.hpp.
       if (n->status.load() != UpdateNode::kInactive &&
-          n->ann_cell[kRuall].load() == u && core_.first_activated(n)) {
+          n->ann_cell[slot].load() == u && core_.first_activated(n)) {
         push_unique(n->type == NodeType::kIns ? ins : del, n);
       }
     }
-  } while (u != ruall_.tail());
+  } while (u != list.tail());
 }
 
-// Paper l.207–252.
-std::pair<Key, PredecessorNode*> LockFreeBinaryTrie::pred_helper(Key y) {
-  auto* p_node = arena_.create<PredecessorNode>(y);
-  p_node->ruall_position.store(AnnounceList::pack(ruall_.head()));
+// Paper l.207–252 (PredHelper), parameterized by direction: with dir ==
+// kSucc every comparison, traversal order and extremum is reflected
+// through the key order, which is exactly the paper's algorithm on the
+// mirrored universe. The linearization-point argument carries over under
+// the reflection — see docs/DESIGN.md, "Symmetric successor".
+std::pair<Key, PredecessorNode*> LockFreeBinaryTrie::query_helper(
+    Key y, QueryDir dir) {
+  const bool is_pred = dir == QueryDir::kPred;
+  auto* p_node = arena_.create<PredecessorNode>(y, dir);
+  p_node->announce_position.store(
+      AnnounceList::pack(is_pred ? ruall_.head() : suall_.head()));
   pall_.push(p_node);  // l.209 — announce
 
   // l.210–214: snapshot the P-ALL suffix; prepending makes Q oldest-first.
+  // Q deliberately contains both directions' announcements; the fallback
+  // below matches only the pointers a same-direction Delete embedded.
   std::vector<PredecessorNode*> q;
   for (PredecessorNode* it = PAll::next_raw(p_node); it != nullptr;
        it = PAll::next_raw(it)) {
@@ -211,60 +286,82 @@ std::pair<Key, PredecessorNode*> LockFreeBinaryTrie::pred_helper(Key y) {
   }
   std::reverse(q.begin(), q.end());
 
-  std::vector<UpdateNode*> i_ruall, d_ruall;
-  traverse_ruall(p_node, i_ruall, d_ruall);     // l.215
-  Key r0 = core_.relaxed_predecessor(y);      // l.216 — CT starts here
-  UallSets uall_sets = traverse_uall(y);        // l.217
+  std::vector<UpdateNode*> i_pos, d_pos;
+  traverse_position_list(p_node, i_pos, d_pos);  // l.215 (+ mirror)
+  Key r0 = is_pred ? core_.relaxed_predecessor(y)   // l.216 — CT starts here
+                   : core_.relaxed_successor(y);
+  UallSets uall_sets = is_pred ? traverse_uall(y)   // l.217 (+ mirror)
+                               : traverse_uall_above(y);
 
-  // l.218–227: collect notifications (head snapshot = Cnotify).
+  // l.218–227: collect notifications (head snapshot = Cnotify). For the
+  // successor direction the acceptance tests reflect: an INS notification
+  // is needed iff the op's position had already moved past the key
+  // (threshold <= key descending; >= key ascending), and the
+  // "end-of-list" sentinel is the tail of the op's own position list
+  // (kNegInf for the RU-ALL, kPosInf for the SU-ALL).
+  const Key end_threshold = is_pred ? kNegInf : kPosInf;
   std::vector<UpdateNode*> i_notify, d_notify;
   for (NotifyNode* nn = NotifyList::head(p_node); nn != nullptr; nn = nn->next) {
-    if (nn->key >= y) continue;
+    if (is_pred ? nn->key >= y : nn->key <= y) continue;
     if (nn->update_node->type == NodeType::kIns) {
-      if (nn->notify_threshold <= nn->key) push_unique(i_notify, nn->update_node);
+      const bool accept = is_pred ? nn->notify_threshold <= nn->key
+                                  : nn->notify_threshold >= nn->key;
+      if (accept) push_unique(i_notify, nn->update_node);
     } else {
-      if (nn->notify_threshold < nn->key) push_unique(d_notify, nn->update_node);
+      const bool accept = is_pred ? nn->notify_threshold < nn->key
+                                  : nn->notify_threshold > nn->key;
+      if (accept) push_unique(d_notify, nn->update_node);
     }
-    // l.226–227: accept the notifier's U-ALL maximum when we were past the
-    // RU-ALL end at notification time and the notifier itself is not an
-    // update we already account for via the RU-ALL.
-    if (nn->notify_threshold == kNegInf &&
-        !contains_node(i_ruall, nn->update_node) &&
-        !contains_node(d_ruall, nn->update_node)) {
-      push_unique(i_notify, nn->update_node_max);
+    // l.226–227: accept the notifier's U-ALL extremum when we were past
+    // the position-list end at notification time and the notifier itself
+    // is not an update we already account for via the position list.
+    if (nn->notify_threshold == end_threshold &&
+        !contains_node(i_pos, nn->update_node) &&
+        !contains_node(d_pos, nn->update_node)) {
+      push_unique(i_notify, nn->update_node_ext);
     }
   }
 
-  // l.228: r1 over Iuall ∪ Inotify ∪ (Duall − Druall) ∪ (Dnotify − Druall).
+  // l.228: r1 over Iuall ∪ Inotify ∪ (Duall − Dpos) ∪ (Dnotify − Dpos),
+  // taking the directional extremum (max below y / min above y).
   Key r1 = kNoKey;
-  r1 = max_key(uall_sets.ins, r1);
-  r1 = max_key(i_notify, r1);
+  consider_all(r1, uall_sets.ins, dir);
+  consider_all(r1, i_notify, dir);
   for (UpdateNode* n : uall_sets.del) {
-    if (!contains_node(d_ruall, n)) r1 = std::max(r1, n->key);
+    if (!contains_node(d_pos, n)) consider(r1, n->key, dir);
   }
   for (UpdateNode* n : d_notify) {
-    if (!contains_node(d_ruall, n)) r1 = std::max(r1, n->key);
+    if (!contains_node(d_pos, n)) consider(r1, n->key, dir);
   }
 
   // l.230–251: the trie traversal was blocked by concurrent updates.
   if (r0 == kBottom) {
-    r0 = d_ruall.empty() ? kNoKey : bottom_fallback(y, p_node, q, d_ruall);
+    r0 = d_pos.empty() ? kNoKey : bottom_fallback(y, dir, p_node, q, d_pos);
   }
-  return {std::max(r0, r1), p_node};  // l.252
+  consider(r1, r0, dir);
+  return {r1, p_node};  // l.252
 }
 
-// Paper l.231–251: recover a candidate ≥ k from embedded-predecessor
-// results when RelaxedPredecessor returned ⊥ and old deletes (Druall) are
-// in flight.
+// Paper l.231–251, parameterized by direction: recover a candidate from
+// embedded-query results when the relaxed traversal returned ⊥ and old
+// deletes (Dpos: the Druall of the paper, or its SU-ALL mirror) are in
+// flight. The TL graph's edges are key -> delPred2 for predecessor
+// queries (strictly decreasing) and key -> delSucc2 for successor ones
+// (strictly increasing); either way walks terminate at sinks.
 Key LockFreeBinaryTrie::bottom_fallback(
-    Key y, PredecessorNode* p_node, const std::vector<PredecessorNode*>& q,
-    const std::vector<UpdateNode*>& d_ruall) {
-  // l.232–234: the earliest-announced first-embedded-predecessor node of a
-  // Druall delete that we saw in the P-ALL.
+    Key y, QueryDir dir, PredecessorNode* p_node,
+    const std::vector<PredecessorNode*>& q,
+    const std::vector<UpdateNode*>& d_pos) {
+  const bool is_pred = dir == QueryDir::kPred;
+  auto in_window = [&](Key k) { return is_pred ? k < y : k > y; };
+
+  // l.232–234: the earliest-announced first-embedded-query node (of this
+  // direction) of a Dpos delete that we saw in the P-ALL.
   PredecessorNode* p_prime = nullptr;
   for (PredecessorNode* cand : q) {
-    for (UpdateNode* n : d_ruall) {
-      if (static_cast<DelNode*>(n)->del_pred_node == cand) {
+    for (UpdateNode* n : d_pos) {
+      auto* dn = static_cast<DelNode*>(n);
+      if ((is_pred ? dn->del_pred_node : dn->del_succ_node) == cand) {
         p_prime = cand;
         break;
       }
@@ -276,18 +373,20 @@ Key LockFreeBinaryTrie::bottom_fallback(
   std::vector<UpdateNode*> l1;
   if (p_prime != nullptr) {
     for (NotifyNode* nn = NotifyList::head(p_prime); nn != nullptr; nn = nn->next) {
-      if (nn->key < y) prepend_unique(l1, nn->update_node);
+      if (in_window(nn->key)) prepend_unique(l1, nn->update_node);
     }
   }
 
-  // l.237–241: L2 from our own notify list (thresholds >= key, i.e. the
-  // notifications we *rejected* plus early INS ones); every notifier seen
-  // here is dropped from L1.
+  // l.237–241: L2 from our own notify list (the notifications we
+  // *rejected* plus early INS ones — thresholds on the not-yet-passed
+  // side of the key); every notifier seen here is dropped from L1.
   std::vector<UpdateNode*> l2;
   for (NotifyNode* nn = NotifyList::head(p_node); nn != nullptr; nn = nn->next) {
-    if (nn->key >= y) continue;
+    if (!in_window(nn->key)) continue;
     erase_node(l1, nn->update_node);
-    if (nn->notify_threshold >= nn->key) prepend_unique(l2, nn->update_node);
+    const bool rejected_side = is_pred ? nn->notify_threshold >= nn->key
+                                       : nn->notify_threshold <= nn->key;
+    if (rejected_side) prepend_unique(l2, nn->update_node);
   }
 
   // l.242: L = L1 ++ L2.
@@ -295,7 +394,7 @@ Key LockFreeBinaryTrie::bottom_fallback(
   for (UpdateNode* n : l2) l.push_back(n);
 
   // l.243: drop every DEL node that is not the last update node in L with
-  // its key.
+  // its key (direction-independent: pure same-key recency).
   std::vector<UpdateNode*> filtered;
   for (std::size_t i = 0; i < l.size(); ++i) {
     if (l[i]->type == NodeType::kDel) {
@@ -311,17 +410,19 @@ Key LockFreeBinaryTrie::bottom_fallback(
     filtered.push_back(l[i]);
   }
 
-  // Definition 5.1: TL = (V, E), E = {key -> delPred2} for DEL nodes in L.
-  // After l.243 there is at most one DEL node (hence one outgoing edge)
-  // per key, and every edge strictly decreases the key, so walks from X
+  // Definition 5.1: TL = (V, E), E = {key -> delPred2} (or delSucc2) for
+  // DEL nodes in L. After l.243 there is at most one DEL node (hence one
+  // outgoing edge) per key, and every edge strictly moves away from y
+  // (down-key for predecessor, up-key for successor), so walks from X
   // terminate at sinks.
   std::vector<std::pair<Key, Key>> edges;
   for (UpdateNode* n : filtered) {
     if (n->type == NodeType::kDel) {
-      Key dp2 = static_cast<DelNode*>(n)->del_pred2.load();
-      // DEL nodes reach notify lists only after delPred2 is written
-      // (l.201 precedes l.203); guard anyway.
-      if (dp2 != kUnsetPred) edges.emplace_back(n->key, dp2);
+      auto* dn = static_cast<DelNode*>(n);
+      Key d2 = is_pred ? dn->del_pred2.load() : dn->del_succ2.load();
+      // DEL nodes reach notify lists only after delPred2/delSucc2 are
+      // written (l.201 + mirror precede l.203); guard anyway.
+      if (d2 != kUnsetPred) edges.emplace_back(n->key, d2);
     }
   }
   auto out_edge = [&edges](Key v) -> const Key* {
@@ -331,17 +432,21 @@ Key LockFreeBinaryTrie::bottom_fallback(
     return nullptr;
   };
 
-  // l.247–248: X = {delPred of Druall deletes} ∪ {keys of INS nodes in L}.
+  // l.247–248: X = {delPred/delSucc of Dpos deletes} ∪ {keys of INS
+  // nodes in L}.
   std::vector<Key> x_set;
-  for (UpdateNode* n : d_ruall) x_set.push_back(static_cast<DelNode*>(n)->del_pred);
+  for (UpdateNode* n : d_pos) {
+    auto* dn = static_cast<DelNode*>(n);
+    x_set.push_back(is_pred ? dn->del_pred : dn->del_succ);
+  }
   for (UpdateNode* n : filtered) {
     if (n->type == NodeType::kIns) x_set.push_back(n->key);
   }
 
-  // l.249: R = sinks reachable from X (chain walks; edges decrease keys).
+  // l.249: R = sinks reachable from X (chain walks; edges are monotone).
   std::vector<Key> r;
   for (Key v : x_set) {
-    // Bounded walk as defence in depth; chains are strictly decreasing.
+    // Bounded walk as defence in depth; chains are strictly monotone.
     for (int steps = 0; steps < 1 + 64; ++steps) {
       const Key* next = out_edge(v);
       if (next == nullptr) break;
@@ -349,13 +454,14 @@ Key LockFreeBinaryTrie::bottom_fallback(
     }
     r.push_back(v);
   }
-  // l.250: drop keys of Druall deletes.
-  for (UpdateNode* n : d_ruall) {
+  // l.250: drop keys of Dpos deletes.
+  for (UpdateNode* n : d_pos) {
     r.erase(std::remove(r.begin(), r.end(), n->key), r.end());
   }
   // l.251 (paper guarantees non-emptiness; return -1 defensively).
-  if (r.empty()) return kNoKey;
-  return *std::max_element(r.begin(), r.end());
+  Key best = kNoKey;
+  for (Key v : r) consider(best, v, dir);
+  return best;
 }
 
 bool LockFreeBinaryTrie::stall_insert_for_test(Key x) {
@@ -377,15 +483,19 @@ bool LockFreeBinaryTrie::stall_insert_for_test(Key x) {
 bool LockFreeBinaryTrie::stall_delete_for_test(Key x) {
   UpdateNode* i_node = core_.find_latest(x);
   if (i_node->type != NodeType::kIns) return false;
-  auto [del_pred, p_node1] = pred_helper(x);
+  auto [del_pred, p_node1] = query_helper(x, QueryDir::kPred);
+  auto [del_succ, s_node1] = query_helper(x, QueryDir::kSucc);
   auto* d_node = arena_.create<DelNode>(x, core_.b());
   d_node->latest_next.store(i_node);
   d_node->del_pred = del_pred;
   d_node->del_pred_node = p_node1;
+  d_node->del_succ = del_succ;
+  d_node->del_succ_node = s_node1;
   i_node->latest_next.store(nullptr);
-  notify_pred_ops(i_node);
+  notify_query_ops(i_node);
   if (!core_.cas_latest(x, i_node, d_node)) {
     pall_.remove(p_node1);
+    pall_.remove(s_node1);
     return false;
   }
   announce(d_node);
@@ -393,18 +503,29 @@ bool LockFreeBinaryTrie::stall_delete_for_test(Key x) {
   size_.fetch_sub(1);
   if (DelNode* tg = i_node->target.load()) tg->stop.store(true);
   d_node->latest_next.store(nullptr);
-  auto [del_pred2, p_node2] = pred_helper(x);
-  (void)p_node2;  // stays announced, exactly like a crashed thread's
+  auto [del_pred2, p_node2] = query_helper(x, QueryDir::kPred);
+  auto [del_succ2, s_node2] = query_helper(x, QueryDir::kSucc);
+  (void)p_node2;  // stay announced, exactly like a crashed thread's
+  (void)s_node2;
   d_node->del_pred2.store(del_pred2);
+  d_node->del_succ2.store(del_succ2);
   return true;  // crash before DeleteBinaryTrie / notify / retract.
 }
 
 // Paper l.253–256.
 Key LockFreeBinaryTrie::predecessor(Key y) {
   assert(y >= 0 && y <= core_.universe());
-  auto [pred, p_node] = pred_helper(y);
+  auto [pred, p_node] = query_helper(y, QueryDir::kPred);
   pall_.remove(p_node);  // l.255
   return pred;
+}
+
+// Mirror of l.253–256: the same helper reflected through the key order.
+Key LockFreeBinaryTrie::successor(Key y) {
+  assert(y >= -1 && y < core_.universe());
+  auto [succ, s_node] = query_helper(y, QueryDir::kSucc);
+  pall_.remove(s_node);
+  return succ;
 }
 
 }  // namespace lfbt

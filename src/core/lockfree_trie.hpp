@@ -1,39 +1,58 @@
 // The lock-free, linearizable binary trie of Section 5 — the paper's
-// headline contribution.
+// headline contribution — extended with a *native, symmetric* successor:
+// the announcement/notification machinery is mirrored inside this one
+// structure, so both ordered queries read the same abstract state.
 //
 // A dynamic set over U = {0..u-1} supporting
 //   contains(x)      O(1) worst case,
 //   insert(x)        O(ċ² + log u) amortized,
 //   erase(x)         O(ċ² + c̃ + log u) amortized,
 //   predecessor(y)   O(ċ² + c̃ + log u) amortized, linearizable,
+//   successor(y)     O(ċ² + c̃ + log u) amortized, linearizable,
 // where ċ is point contention and c̃ overlapping-interval contention.
 //
-// Components (Section 5.1):
+// Components (Section 5.1, plus the symmetric mirrors):
 //  * the relaxed binary trie (TrieCore) for the O(log u) bit updates and
-//    the wait-free RelaxedPredecessor traversal;
+//    the wait-free RelaxedPredecessor / RelaxedSuccessor traversals;
 //  * per-key latest lists (latest[x] plus latestNext), length <= 2, whose
 //    first *activated* node encodes membership;
-//  * the U-ALL / RU-ALL update announcement lists (AnnounceList);
-//  * the P-ALL predecessor announcement list with per-predecessor notify
-//    lists (PAll / NotifyList);
-//  * embedded Predecessor operations inside every Delete (delPred,
-//    delPred2), consumed by the ⊥-fallback of PredHelper (Definition 5.1
-//    TL graph).
+//  * the U-ALL / RU-ALL update announcement lists (AnnounceList), joined
+//    by the SU-ALL — an *ascending* copy traversed by successor
+//    operations with announced positions, the exact mirror image of the
+//    descending RU-ALL that predecessor operations traverse;
+//  * the P-ALL announcement list with per-query notify lists (PAll /
+//    NotifyList), now holding both directions' announcements
+//    (PredecessorNode::dir); notifiers record the directional threshold
+//    and U-ALL extremum each target needs;
+//  * embedded Predecessor AND Successor operations inside every Delete
+//    (delPred/delPred2 and their mirrors delSucc/delSucc2), consumed by
+//    the ⊥-fallbacks of the two query helpers (Definition 5.1 TL graph;
+//    the successor graph's edges point up the key order instead of down).
+//
+// Why native symmetry (vs the retired key-mirrored companion view): one
+// trie means one abstract state, so histories mixing predecessor and
+// successor — including same-key update races — are linearizable on a
+// single object, and updates stop paying for a second full trie. An
+// insert pays one extra announcement cell; a delete pays two embedded
+// successor queries (it already ran two embedded predecessors). See
+// docs/DESIGN.md, "Symmetric successor", for the linearization argument.
 //
 // Progress: lock-free. Operations that lose the latest[x] CAS help the
-// winner activate (HelpActivate) and return; predecessor operations never
-// help updates — they instead extract a correct answer from announcements
-// and notifications, which is the paper's key departure from classic
-// helping designs.
+// winner activate (HelpActivate) and return; predecessor and successor
+// operations never help updates — they instead extract a correct answer
+// from announcements and notifications, which is the paper's key
+// departure from classic helping designs.
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <cstddef>
 #include <utility>
 #include <vector>
 
 #include "lists/announce_list.hpp"
 #include "lists/pall.hpp"
+#include "query/range_scan.hpp"
 #include "relaxed/trie_core.hpp"
 
 namespace lfbt {
@@ -52,13 +71,31 @@ class LockFreeBinaryTrie {
   void insert(Key x);
 
   /// Paper Delete (l.181–206). Linearized at the status flip of its DEL
-  /// node. Runs two embedded Predecessor operations whose results feed
-  /// concurrent predecessors' ⊥-fallback.
+  /// node. Runs two embedded Predecessor and two embedded Successor
+  /// operations whose results feed concurrent queries' ⊥-fallbacks.
   void erase(Key x);
 
   /// Paper Predecessor (l.253–256): largest key < y in S at the
   /// linearization point, or kNoKey (-1). y in [0, universe()].
   Key predecessor(Key y);
+
+  /// Mirror-image Successor: smallest key > y in S at the linearization
+  /// point, or kNoKey (-1). y in [-1, universe()). Linearizable against
+  /// the same abstract state as every other operation — no companion
+  /// view is involved (see the header comment and docs/DESIGN.md).
+  Key successor(Key y);
+
+  /// Ascending keys of S ∩ [lo, hi], at most `limit`, appended to `out`;
+  /// returns the number appended. The shared successor walk of
+  /// query/range_scan.hpp (a contract-only header below this one in the
+  /// include order): one linearizable step per reported key, under the
+  /// repository-wide weak-consistency scan contract documented there.
+  std::size_t range_scan(Key lo, Key hi, std::size_t limit,
+                         std::vector<Key>& out) {
+    assert(lo >= 0 && lo < universe() && hi >= lo);
+    return successor_range_scan(
+        *this, lo, hi < universe() ? hi : universe() - 1, limit, out);
+  }
 
   /// Number of keys currently in S, backed by one per-structure atomic
   /// counter touched once per *successful* update (one fetch_add next to
@@ -67,7 +104,7 @@ class LockFreeBinaryTrie {
   /// the insert's linearizing CAS and the decrement follows the delete's
   /// activation, so at every instant size() >= |S|. Hence empty() == true
   /// is a true quiescent-style observation ("no key was present at the
-  /// moment of the read") that ShardedTrie's cross-shard predecessor uses
+  /// moment of the read") that ShardedTrie's cross-shard queries use
   /// to skip shards in O(1). At quiescence size() is exact.
   std::size_t size() const noexcept {
     const int64_t v = size_.load();
@@ -86,10 +123,11 @@ class LockFreeBinaryTrie {
   bool stall_insert_for_test(Key x);
 
   /// Test-only fault injection: runs Delete(x) through activation and the
-  /// second embedded predecessor (l.201), then "crashes" — leaving its
-  /// interpreted bits stale and its embedded predecessor announcements in
-  /// the P-ALL forever. Models the adversary Section 5's ⊥-fallback
-  /// (Definition 5.1) exists for. Returns false if x was absent.
+  /// second embedded predecessor/successor pair (l.201 + mirror), then
+  /// "crashes" — leaving its interpreted bits stale and its embedded
+  /// query announcements in the P-ALL forever. Models the adversary
+  /// Section 5's ⊥-fallback (Definition 5.1) exists for, in both query
+  /// directions. Returns false if x was absent.
   bool stall_delete_for_test(Key x);
 
  private:
@@ -98,23 +136,25 @@ class LockFreeBinaryTrie {
     std::vector<UpdateNode*> del;
   };
 
-  void announce(UpdateNode* u);  // insert into U-ALL then RU-ALL (order!)
-  void retract(UpdateNode* u);   // remove from U-ALL then RU-ALL (order!)
+  void announce(UpdateNode* u);  // insert into U-ALL, RU-ALL, SU-ALL (order!)
+  void retract(UpdateNode* u);   // remove in the same order
   void help_activate(UpdateNode* u);                       // l.128–136
   UallSets traverse_uall(Key x);                         // l.137–145
-  void notify_pred_ops(UpdateNode* u);                     // l.146–155
-  void traverse_ruall(PredecessorNode* p,
-                      std::vector<UpdateNode*>& ins,
-                      std::vector<UpdateNode*>& del);      // l.257–269
-  std::pair<Key, PredecessorNode*> pred_helper(Key y); // l.207–252
-  Key bottom_fallback(Key y, PredecessorNode* p_node,
+  UallSets traverse_uall_above(Key x);   // successor mirror: keys > x
+  void notify_query_ops(UpdateNode* u);                    // l.146–155
+  void traverse_position_list(PredecessorNode* p,
+                              std::vector<UpdateNode*>& ins,
+                              std::vector<UpdateNode*>& del);  // l.257–269
+  std::pair<Key, PredecessorNode*> query_helper(Key y, QueryDir dir);  // l.207–252
+  Key bottom_fallback(Key y, QueryDir dir, PredecessorNode* p_node,
                         const std::vector<PredecessorNode*>& q,
-                        const std::vector<UpdateNode*>& d_ruall);  // l.230–251
+                        const std::vector<UpdateNode*>& d_pos);  // l.230–251
 
   NodeArena arena_;
   TrieCore core_;
   AnnounceList uall_;
   AnnounceList ruall_;
+  AnnounceList suall_;  // ascending mirror of the RU-ALL (successor ops)
   PAll pall_;
   // |S| tracker for size()/empty(). Updated only by the thread whose CAS
   // on latest[x] installed the node (helpers never touch it), so every

@@ -18,21 +18,32 @@ struct UpdateNode;
 struct DelNode;
 struct PredecessorNode;
 
-/// A cell of the U-ALL or RU-ALL (paper Section 5.1). Cells are separate
-/// from update nodes so that several helpers can race to announce the same
-/// update node: each splices its own cell, then one claims canonicity via
-/// CAS on UpdateNode::ann_cell (see AnnounceList for the full protocol).
+/// A cell of the U-ALL, RU-ALL or SU-ALL (paper Section 5.1, with the
+/// SU-ALL being this repository's successor-direction mirror of the
+/// RU-ALL). Cells are separate from update nodes so that several helpers
+/// can race to announce the same update node: each splices its own cell,
+/// then one claims canonicity via CAS on UpdateNode::ann_cell (see
+/// AnnounceList for the full protocol).
 ///
 /// `next` packs a Cell* with a removal mark in bit 1. Bit 0 stays clear:
 /// it is the descriptor tag of AtomicCopyWord, which copies these words
-/// into PredecessorNode::ruall_position.
+/// into PredecessorNode::announce_position.
 struct AnnCell {
   Key key = 0;
   UpdateNode* node = nullptr;
   std::atomic<uintptr_t> next{0};
 };
 
-enum : int { kUall = 0, kRuall = 1 };
+/// Announcement-list slots of UpdateNode::ann_cell. kUall/kRuall are the
+/// paper's lists; kSuall is the ascending successor-direction mirror of
+/// the RU-ALL added by the native symmetric successor (see
+/// core/lockfree_trie.hpp).
+enum : int { kUall = 0, kRuall = 1, kSuall = 2, kNumAnnSlots = 3 };
+
+/// Direction of an announced query operation (paper Predecessor, or its
+/// mirror-image Successor). Selects which position list the operation
+/// traverses (RU-ALL / SU-ALL) and how notifications are filtered.
+enum class QueryDir : uint8_t { kPred = 0, kSucc = 1 };
 
 /// Paper lines 91–104. INS and DEL nodes share a base; DEL-only fields
 /// live in DelNode.
@@ -58,10 +69,10 @@ struct UpdateNode {
   /// Set when the op finished updating the trie + notifying (l.178/204).
   std::atomic<bool> completed{false};
 
-  /// Canonical announcement cells (kUall / kRuall); set once by the claim
-  /// CAS in AnnounceList::insert, read by remove and by traversals for the
-  /// canonicity check.
-  std::atomic<AnnCell*> ann_cell[2] = {{nullptr}, {nullptr}};
+  /// Canonical announcement cells (kUall / kRuall / kSuall); set once by
+  /// the claim CAS in AnnounceList::insert, read by remove and by
+  /// traversals for the canonicity check.
+  std::atomic<AnnCell*> ann_cell[kNumAnnSlots] = {{nullptr}, {nullptr}, {nullptr}};
 
   bool is_del() const noexcept { return type == NodeType::kDel; }
   DelNode* as_del() noexcept;
@@ -94,38 +105,63 @@ struct DelNode : UpdateNode {
   /// Result of the second embedded Predecessor; kUnsetPred until written
   /// (before DeleteBinaryTrie, l.201).
   std::atomic<Key> del_pred2{kUnsetPred};
+
+  // --- Successor-direction mirrors of the three fields above. Every
+  // Delete also embeds two Successor operations, feeding the ⊥-fallback
+  // of successor queries exactly as delPred/delPred2 feed predecessor's
+  // (the TL graph of Definition 5.1 with the edge direction reversed). ---
+
+  /// Query node of the first embedded Successor (immutable).
+  PredecessorNode* del_succ_node = nullptr;
+
+  /// Result of the first embedded Successor (immutable).
+  Key del_succ = kNoKey;
+
+  /// Result of the second embedded Successor; kUnsetPred until written
+  /// (before DeleteBinaryTrie, mirroring l.201).
+  std::atomic<Key> del_succ2{kUnsetPred};
 };
 
 inline DelNode* UpdateNode::as_del() noexcept {
   return is_del() ? static_cast<DelNode*>(this) : nullptr;
 }
 
-/// A notification pushed by an update operation onto a predecessor node's
-/// notify list (paper lines 109–113). Immutable after publication.
+/// A notification pushed by an update operation onto an announced query
+/// node's notify list (paper lines 109–113). Immutable after publication.
 struct NotifyNode {
   Key key = 0;
   UpdateNode* update_node = nullptr;
-  /// INS node with the largest key < the predecessor's key that the
-  /// notifier saw in the U-ALL; may be null.
-  UpdateNode* update_node_max = nullptr;
-  /// Key of the RU-ALL cell the predecessor was visiting when notified.
+  /// Directional extremum of the notifier's U-ALL snapshot: for a
+  /// predecessor-direction target, the INS node with the largest key <
+  /// the target's key (paper l.153); for a successor-direction target,
+  /// the INS node with the smallest key > the target's key. May be null.
+  UpdateNode* update_node_ext = nullptr;
+  /// Key of the RU-ALL (pred) / SU-ALL (succ) cell the query operation
+  /// was visiting when notified.
   Key notify_threshold = kPosInf;
   NotifyNode* next = nullptr;
 };
 
-/// Announcement of a Predecessor operation in the P-ALL (lines 105–108).
+/// Announcement of a Predecessor — or, with dir == kSucc, its mirror
+/// Successor — operation in the P-ALL (lines 105–108). The paper's name
+/// is kept: a successor announcement is structurally a predecessor
+/// announcement under the key-order reflection.
 struct PredecessorNode {
-  explicit PredecessorNode(Key k) : key(k) {}
+  explicit PredecessorNode(Key k, QueryDir d = QueryDir::kPred)
+      : key(k), dir(d) {}
 
   const Key key;
+  const QueryDir dir;
 
   /// Insert-only list of notifications, newest first.
   std::atomic<NotifyNode*> notify_head{nullptr};
 
-  /// RU-ALL cell currently visited by this predecessor op; single-writer
-  /// atomic copy target (see atomic_copy.hpp). Holds an AnnCell* word,
-  /// possibly with the list mark (bit 1) set — strip with AnnCell masks.
-  AtomicCopyWord ruall_position;
+  /// Position-list cell currently visited by this query op — an RU-ALL
+  /// cell for predecessor-direction ops, an SU-ALL cell for
+  /// successor-direction ones; single-writer atomic copy target (see
+  /// atomic_copy.hpp). Holds an AnnCell* word, possibly with the list
+  /// mark (bit 1) set — strip with AnnCell masks.
+  AtomicCopyWord announce_position;
 
   /// Intrusive hook for the P-ALL (mark in bit 0: removed).
   std::atomic<uintptr_t> pall_next{0};

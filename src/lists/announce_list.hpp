@@ -1,10 +1,15 @@
-// U-ALL / RU-ALL: the update announcement linked lists of Section 5.
+// U-ALL / RU-ALL / SU-ALL: the update announcement linked lists of
+// Section 5, plus the successor-direction mirror of the RU-ALL.
 //
 // A Harris-style sorted lock-free linked list of AnnCells. The U-ALL is
 // ascending (head sentinel -inf), the RU-ALL descending (head sentinel
 // +inf); both insert a node *after* all cells with an equal key, which for
 // the RU-ALL yields "descending by key, then by insertion order" as the
-// paper requires.
+// paper requires. The SU-ALL (slot kSuall) is a third instance, ascending
+// like the U-ALL, traversed by successor operations with announced
+// positions — "ascending by key, then by insertion order" is exactly the
+// RU-ALL invariant reflected through the key order, so the mirrored
+// proof obligations hold with no new list machinery.
 //
 // Idempotent multi-helper insertion (needed by HelpActivate, l.130): any
 // number of threads may concurrently announce the SAME update node. Each
@@ -19,7 +24,7 @@
 // depends on removal happening in the U-ALL first).
 //
 // Removal marks use bit 1 of `next` (bit 0 is reserved by AtomicCopyWord,
-// which copies RU-ALL next words into predecessor announcements).
+// which copies RU-ALL/SU-ALL next words into query announcements).
 //
 // Memory: cells come from the owning trie's arena and are never reused,
 // so CAS expected-value comparisons are ABA-free.
@@ -44,7 +49,7 @@ class AnnounceList {
   static uintptr_t pack(AnnCell* c) noexcept { return reinterpret_cast<uintptr_t>(c); }
 
   /// `slot` selects which UpdateNode::ann_cell entry this list claims
-  /// (kUall or kRuall); `descending` picks the sort order.
+  /// (kUall, kRuall or kSuall); `descending` picks the sort order.
   AnnounceList(NodeArena& arena, int slot, bool descending)
       : arena_(&arena), slot_(slot), descending_(descending) {
     head_.key = descending ? kPosInf : kNegInf;
@@ -101,7 +106,7 @@ class AnnounceList {
     return cur;
   }
 
-  /// Raw next word of `c` (for the RU-ALL atomic-copy traversal).
+  /// Raw next word of `c` (for the RU-ALL/SU-ALL atomic-copy traversals).
   const std::atomic<uintptr_t>* next_word(const AnnCell* c) const noexcept {
     return &c->next;
   }

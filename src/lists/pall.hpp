@@ -1,13 +1,18 @@
-// P-ALL: the predecessor announcement linked list of Section 5, plus the
-// insert-only notify lists hanging off each predecessor node.
+// P-ALL: the query announcement linked list of Section 5 (the paper's
+// predecessor announcement list, now holding both directions' announced
+// query operations — PredecessorNode::dir distinguishes them), plus the
+// insert-only notify lists hanging off each announced node.
 //
 // The P-ALL is an unsorted lock-free list with LIFO insertion at the head
 // and mark-based removal (mark bit 0 of the intrusive `pall_next` hook).
 // Removed nodes stay traversable — the paper's PredHelper deliberately
 // walks `next` chains that may pass through retired announcements (its Q
-// sequence), and DEL nodes keep `delPredNode` references to completed
-// embedded predecessors. Nodes are arena-managed, so this is safe; marked
-// nodes are physically snipped opportunistically to keep traversals short.
+// sequence), and DEL nodes keep `delPredNode`/`delSuccNode` references to
+// completed embedded queries. Nodes are arena-managed, so this is safe;
+// marked nodes are physically snipped opportunistically to keep
+// traversals short. One shared list (rather than a per-direction pair)
+// keeps every notifier walking a single chain; readers filter by `dir`
+// only where direction matters (the ⊥-fallback's pointer matching).
 #pragma once
 
 #include <cstdint>

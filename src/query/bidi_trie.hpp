@@ -1,104 +1,27 @@
-// BidiTrie: the paper's lock-free trie with the full ordered query
-// surface — contains / insert / erase / predecessor / successor /
-// range_scan — built from a primary LockFreeBinaryTrie plus a
-// key-mirrored companion view (MirroredTrie).
+// BidiTrie: formerly the primary-plus-mirror composite that synthesised
+// successor from a key-mirrored companion view — now a thin alias for
+// LockFreeBinaryTrie, which answers both directions natively.
 //
-// Every update is applied to both views by the wrapper:
-//   insert(x):  primary.insert(x)  then  mirror.insert(x)
-//   erase(x):   mirror.erase(x)    then  primary.erase(x)
-// Queries route by direction: contains/predecessor read the primary,
-// successor (and the successor-walk range_scan) read the mirror.
+// History. Before the core trie gained its native symmetric successor
+// (the SU-ALL / directional-notification machinery documented in
+// core/lockfree_trie.hpp and docs/DESIGN.md, "Symmetric successor"),
+// this header defined a two-structure composite: every update was applied
+// to a primary trie and to a MirroredTrie storing keys as u-1-x, and the
+// composite famously was NOT a single linearizable object for histories
+// mixing predecessor and successor under same-key update races. That
+// caveat — and the doubled update cost that came with it — is gone: one
+// trie, one abstract state, every operation linearizable on it.
 //
-// ---------------------------------------------------------------------
-// What is and is not guaranteed
-// ---------------------------------------------------------------------
-// Each individual query is linearizable with respect to the history of
-// the view it reads: predecessor inherits the Section 5 proof on the
-// primary, successor inherits it on the mirror (see mirrored_trie.hpp —
-// a mirrored history is the same history under the key bijection
-// x ↦ u-1-x). The wrapper's update ordering (primary first on insert,
-// mirror first on erase) keeps the mirror's key set a subset of the
-// primary's whenever no two updates of the *same key* run concurrently,
-// so successor never reports a key that contains() has not yet admitted.
-//
-// The composite is NOT a single linearizable object for histories that
-// mix both directions: an insert(x) racing an erase(x) can linearize in
-// one order in the primary and the opposite order in the mirror, leaving
-// the views disagreeing on x until the next non-racing update of x
-// re-synchronises them. This is the inherent price of a two-structure
-// companion view; a native symmetric successor inside one trie (mirroring
-// the U-ALL/RU-ALL/P-ALL machinery itself) removes it and is tracked as a
-// ROADMAP open item. Workloads where a key's updates are not self-racing
-// (per-key ownership, or insert-once/erase-once lifecycles) never observe
-// the divergence, and at quiescence after such workloads both views are
-// exact and identical.
-//
-// Cost: updates do double work (two O(ċ² + log u) trie updates, two
-// arenas); queries pay nothing extra. range_scan is the standard
-// successor walk with the weak-consistency contract of range_scan.hpp.
+// The alias is kept so existing call sites (benches, tests, workbench,
+// examples) keep compiling; new code should just use LockFreeBinaryTrie.
+// MirroredTrie survives in query/mirrored_trie.hpp as a differential-test
+// oracle for the native successor.
 #pragma once
 
-#include <cassert>
-#include <cstddef>
-#include <vector>
-
 #include "core/lockfree_trie.hpp"
-#include "query/mirrored_trie.hpp"
-#include "query/range_scan.hpp"
 
 namespace lfbt {
 
-class BidiTrie {
- public:
-  explicit BidiTrie(Key universe) : primary_(universe), mirror_(universe) {}
-
-  Key universe() const noexcept { return primary_.universe(); }
-
-  /// O(1), linearizable in the primary view.
-  bool contains(Key x) { return primary_.contains(x); }
-
-  /// Primary first, then the mirror (see header ordering argument).
-  void insert(Key x) {
-    primary_.insert(x);
-    mirror_.insert(x);
-  }
-
-  /// Mirror first, then the primary.
-  void erase(Key x) {
-    mirror_.erase(x);
-    primary_.erase(x);
-  }
-
-  /// Largest key < y, or kNoKey; y in [0, universe()]. Linearizable
-  /// (primary view, Section 5 verbatim).
-  Key predecessor(Key y) { return primary_.predecessor(y); }
-
-  /// Smallest key > y, or kNoKey; y in [-1, universe()). Linearizable
-  /// (mirror view, Section 5 under the key bijection).
-  Key successor(Key y) { return mirror_.successor(y); }
-
-  /// Ascending keys of S ∩ [lo, hi], at most `limit`, appended to `out`.
-  /// Successor walk on the mirror — contract in range_scan.hpp.
-  std::size_t range_scan(Key lo, Key hi, std::size_t limit,
-                         std::vector<Key>& out) {
-    assert(lo >= 0 && lo < universe() && hi >= lo);
-    return successor_range_scan(mirror_, lo,
-                                hi < universe() ? hi : universe() - 1, limit,
-                                out);
-  }
-
-  /// Primary view's conservative counter (mirror membership is a subset
-  /// outside same-key races, so this is the larger, safer estimate).
-  std::size_t size() const noexcept { return primary_.size(); }
-  bool empty() const noexcept { return primary_.empty(); }
-
-  std::size_t memory_reserved() const noexcept {
-    return primary_.memory_reserved() + mirror_.memory_reserved();
-  }
-
- private:
-  LockFreeBinaryTrie primary_;
-  MirroredTrie mirror_;
-};
+using BidiTrie = LockFreeBinaryTrie;
 
 }  // namespace lfbt

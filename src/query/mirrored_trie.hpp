@@ -1,31 +1,31 @@
-// MirroredTrie: the key-mirrored companion view that turns the paper's
-// predecessor machinery into a successor oracle.
+// MirroredTrie: the key-mirrored view that answers successor through the
+// paper's *predecessor* machinery — retained as a differential-test
+// oracle for the core trie's native symmetric successor.
 //
-// The lock-free binary trie of Section 5 answers only predecessor — the
-// whole announcement/notification design (U-ALL, RU-ALL, P-ALL, the
-// ⊥-fallback of Definition 5.1) is built around "largest key < y" and has
-// no symmetric counterpart in the paper. Instead of re-deriving that
-// machinery for the other direction, this adapter stores every key x as
-// its mirror image  m(x) = u-1-x  inside an ordinary LockFreeBinaryTrie.
-// Key order reverses under m, so
+// This adapter stores every key x as its mirror image  m(x) = u-1-x
+// inside an ordinary LockFreeBinaryTrie. Key order reverses under m, so
 //
 //   successor(y)  =  smallest x in S with x > y
-//                 =  m( largest m(x) in m(S) with m(x) < m(y-?) )
 //                 =  m( inner.predecessor(u-1-y) ),
 //
 // i.e. one inner predecessor call answers successor exactly, and the
 // query inherits the inner operation's linearization point *unchanged*:
 // a history of MirroredTrie operations is precisely the inner trie's
 // history with every key relabelled by the bijection m, so the Section 5
-// linearizability proof applies verbatim. Progress (lock-free updates,
-// never-helping queries) and the amortized O(ċ² + c̃ + log u) step bounds
-// carry over the same way.
+// linearizability proof applies verbatim.
 //
-// MirroredTrie is deliberately successor-only (it cannot answer
-// predecessor — that would need the inner trie's successor, which is the
-// very thing being synthesised). BidiTrie (bidi_trie.hpp) composes a
-// normal trie with this view to expose both directions; ShardedTrie keeps
-// one mirror per shard for its cross-shard successor and range scans.
+// Role today. The core trie answers successor natively (the SU-ALL /
+// directional-notification machinery of core/lockfree_trie.hpp), so no
+// production structure routes successor through this view any more —
+// BidiTrie is an alias for the core trie and ShardedTrie's shards are
+// single tries. What makes MirroredTrie worth keeping is exactly what
+// made it correct: its successor goes through a *different* code path
+// (the predecessor helper on reflected keys) with the proof inherited by
+// bijection rather than by the mirrored machinery. That makes it an
+// independent oracle: tests/test_successor.cpp Wing–Gong-checks it
+// directly and cross-checks the native successor against it under
+// churn — two implementations of the same linearizable specification
+// that share no direction-specific code.
 #pragma once
 
 #include <cassert>

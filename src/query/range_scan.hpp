@@ -37,7 +37,8 @@ inline constexpr std::size_t kNoScanLimit =
     std::numeric_limits<std::size_t>::max();
 
 /// Anything with a successor query over Key (the traversal half of the
-/// ordered-set API; MirroredTrie models this without being an OrderedSet).
+/// ordered-set API; the successor-only MirroredTrie oracle models this
+/// without being an OrderedSet).
 template <class S>
 concept SuccessorQueryable = requires(S s, Key y) {
   { s.successor(y) } -> std::convertible_to<Key>;
@@ -46,8 +47,9 @@ concept SuccessorQueryable = requires(S s, Key y) {
 /// The default range-scan body: a successor walk. One linearizable
 /// successor step per reported key (plus one to detect the end), so the
 /// weak-consistency contract above holds whenever `successor` is
-/// linearizable. Used by the structures whose successor is their only
-/// ordered-traversal primitive.
+/// linearizable. The single shared implementation of the walk — the
+/// core trie's range_scan member delegates here, as does the E11
+/// bench's reconstructed double-write baseline.
 template <SuccessorQueryable S>
 std::size_t successor_range_scan(S& set, Key lo, Key hi, std::size_t limit,
                                  std::vector<Key>& out) {

@@ -217,8 +217,9 @@ class TrieCore {
   /// This is the natural extension the paper's symmetric structure admits
   /// (climb while t is a right child or its right sibling's bit is 0, then
   /// descend the left-most 1-path); the relaxed-trie correctness argument
-  /// carries over by symmetry. Note: only the *relaxed* successor exists —
-  /// the Section 5 linearizable machinery is predecessor-only.
+  /// carries over by symmetry. The Section 5 structure builds its
+  /// linearizable successor on exactly this traversal, mirroring the
+  /// announcement machinery the same way (core/lockfree_trie.hpp).
   Key relaxed_successor(Key y) {
     uint64_t t;
     if (y < 0) {

@@ -15,11 +15,14 @@
 // paper defines plus the universe accessor every implementation already
 // has. size()/empty() are split into SizedOrderedSet because most
 // lock-free baselines cannot support them without adding contention, and
-// the ordered-traversal surface (successor / range_scan, the query
-// subsystem of src/query/) is split into TraversableOrderedSet because
-// the paper's trie is predecessor-only by design — it participates in
-// traversal workloads through its companion-view face (BidiTrie), not by
-// widening the core structure's API.
+// the ordered-traversal surface (successor / range_scan, contract in
+// query/range_scan.hpp) is split into TraversableOrderedSet so partial-
+// surface structures still model the base concept. Since the core trie
+// gained its native symmetric successor, every shipped structure —
+// including LockFreeBinaryTrie itself — models the traversal refinement;
+// the split survives for exactly the reason it was introduced: the
+// facade must not force a surface onto structures (present or future)
+// that cannot support it.
 #pragma once
 
 #include <cassert>

@@ -2,7 +2,7 @@
 // trie. The universe U = {0..u-1} is split into S contiguous ranges of
 // width w = ceil(u/S); shard i owns [i*w, min((i+1)*w, u)) and is backed
 // by a fully independent LockFreeBinaryTrie — its own NodeArena, its own
-// U-ALL/RU-ALL/P-ALL announcement lists — so shards share no contended
+// U-ALL/RU-ALL/SU-ALL/P-ALL announcement lists — so shards share no contended
 // cache lines (each shard's hot word is cache-line padded, and the trie
 // instances are separate heap allocations). All the contention that
 // funnels through one instance's latest-list CASes and announcement
@@ -51,26 +51,21 @@
 // structure as a whole stays lock-free.
 // ---------------------------------------------------------------------
 //
-// successor(y) is the exact mirror image of the predecessor scan. Each
-// shard keeps a key-mirrored companion view (MirroredTrie — one inner
-// predecessor call answers shard-local successor, see
-// query/mirrored_trie.hpp), and the cross-shard walk goes *upward* from
-// the owner shard s0 = (y+1)/w, validating the insert epochs of every
-// shard visited before the one that answered. The correctness argument is
-// the predecessor one with the direction flipped: "no key > y in shard s"
-// can only be invalidated by an insert, the insert wrapper bumps the
-// shard epoch before returning, so an unchanged epoch pins the
-// observation and a changed one forces a retry (system-wide progress —
-// still lock-free). The O(1) empty-shard skip reads the *primary* trie's
-// conservative counter: the update wrappers order primary-before-mirror
-// on insert and mirror-before-primary on erase, so the mirror's key set
-// is a subset of the primary's and "primary empty" implies "mirror
-// empty" at the same instant. The companion view makes ShardedTrie
-// updates do double work — the documented price of synthesising
-// successor from predecessor machinery (BidiTrie pays the same; a native
-// symmetric successor is a ROADMAP open item). Same-key racing updates
-// can transiently desynchronise a shard's two views exactly as described
-// in query/bidi_trie.hpp.
+// successor(y) is the exact mirror image of the predecessor scan: the
+// cross-shard walk goes *upward* from the owner shard s0 = (y+1)/w,
+// validating the insert epochs of every shard visited before the one
+// that answered. The correctness argument is the predecessor one with
+// the direction flipped: "no key > y in shard s" can only be invalidated
+// by an insert, the insert wrapper bumps the shard epoch before
+// returning, so an unchanged epoch pins the observation and a changed
+// one forces a retry (system-wide progress — still lock-free). The
+// per-shard observation is the inner trie's own native successor
+// (core/lockfree_trie.hpp), linearizable against the same abstract state
+// as every other shard-local operation — there is no companion view, no
+// doubled update work, and no two-view consistency caveat: a shard is
+// ONE linearizable object for its whole operation surface, so mixed
+// pred+succ histories compose across shards exactly as the single-
+// direction ones do.
 //
 // range_scan(lo, hi, limit) walks shards in ascending order, skipping
 // empty ones in O(1), and runs a successor walk inside each occupied
@@ -92,7 +87,6 @@
 #include <vector>
 
 #include "core/lockfree_trie.hpp"
-#include "query/mirrored_trie.hpp"
 #include "sync/cacheline.hpp"
 
 namespace lfbt {
@@ -101,13 +95,15 @@ class ShardedTrie {
  public:
   static constexpr int kDefaultShards = 8;
   /// Hard cap on the shard count, matched to NodeArena's per-thread
-  /// cursor capacity (kSlotsPerThread = 64): each shard owns *two* arenas
-  /// (primary trie + mirrored companion) with consecutive arena ids, so
-  /// with S <= 32 every arena keeps its own allocation cursor per thread
-  /// and no chunk is ever abandoned on an arena switch. Shard counts
-  /// beyond useful hardware parallelism buy no contention relief anyway,
-  /// so requests above the cap are clamped (the width grows instead).
-  static constexpr int kMaxShards = 32;
+  /// cursor capacity (kSlotsPerThread = 64): each shard owns exactly one
+  /// arena (the native symmetric successor removed the per-shard mirror
+  /// arenas), and consecutively-created arenas map to distinct
+  /// direct-mapped cursor slots, so with S <= 64 every arena keeps its
+  /// own allocation cursor per thread and no chunk is ever abandoned on
+  /// an arena switch. Shard counts beyond useful hardware parallelism buy
+  /// no contention relief anyway, so requests above the cap are clamped
+  /// (the width grows instead).
+  static constexpr int kMaxShards = 64;
 
   explicit ShardedTrie(Key universe, int shards = kDefaultShards)
       : u_(universe),
@@ -120,7 +116,6 @@ class ShardedTrie {
       const Key base = static_cast<Key>(s) * width_;
       const Key local_u = std::min(width_, u_ - base);
       shards_[s].trie = std::make_unique<LockFreeBinaryTrie>(local_u);
-      shards_[s].mirror = std::make_unique<MirroredTrie>(local_u);
     }
   }
 
@@ -136,29 +131,22 @@ class ShardedTrie {
     return shards_[s].trie->contains(x - base(s));
   }
 
-  /// Routed to the owning shard: primary view first, then the mirrored
-  /// companion; bumps the shard's insert epoch after both inner inserts
-  /// return (the validation handshake documented above — the bump now
-  /// covers both directions' "no key appeared" observations).
+  /// Routed to the owning shard; bumps the shard's insert epoch after the
+  /// inner insert returns (the validation handshake documented above —
+  /// one bump covers both directions' "no key appeared" observations).
   void insert(Key x) {
     assert(x >= 0 && x < u_);
     const int s = shard_of(x);
     Shard& sh = shards_[s];
-    const Key local = x - base(s);
-    sh.trie->insert(local);
-    sh.mirror->insert(local);
+    sh.trie->insert(x - base(s));
     sh.ins_epoch.value.fetch_add(1);
   }
 
-  /// Routed to the owning shard: mirror first, then the primary (keeps
-  /// mirror membership a subset of primary membership — see header).
+  /// Routed to the owning shard.
   void erase(Key x) {
     assert(x >= 0 && x < u_);
     const int s = shard_of(x);
-    Shard& sh = shards_[s];
-    const Key local = x - base(s);
-    sh.mirror->erase(local);
-    sh.trie->erase(local);
+    shards_[s].trie->erase(x - base(s));
   }
 
   /// Largest key < y, or kNoKey; y in [0, universe()]. Cross-shard scan
@@ -216,7 +204,7 @@ class ShardedTrie {
         epochs[s] = sh.ins_epoch.value.load();
         if (sh.trie->empty()) continue;  // O(1) skip; see header
         const Key ylocal = s == s0 ? y - base(s) : Key{-1};
-        const Key r = sh.mirror->successor(ylocal);
+        const Key r = sh.trie->successor(ylocal);
         if (r != kNoKey) {
           ans = base(s) + r;
           s_ans = s;
@@ -255,7 +243,7 @@ class ShardedTrie {
       const Key local_hi = std::min(hi - b, sh.trie->universe() - 1);
       Key cursor = lo > b ? lo - b - 1 : Key{-1};
       while (n < limit) {
-        const Key r = sh.mirror->successor(cursor);
+        const Key r = sh.trie->successor(cursor);
         if (r == kNoKey || r > local_hi) break;
         out.push_back(b + r);
         ++n;
@@ -278,7 +266,6 @@ class ShardedTrie {
     std::size_t n = 0;
     for (int s = 0; s < nshards_; ++s) {
       n += shards_[s].trie->memory_reserved();
-      n += shards_[s].mirror->memory_reserved();
     }
     return n;
   }
@@ -291,8 +278,7 @@ class ShardedTrie {
   // Cache-line-aligned so no two shards' epoch words (or the trie
   // pointers read on every routed op) share a line.
   struct alignas(kCacheLine) Shard {
-    std::unique_ptr<LockFreeBinaryTrie> trie;  // primary (predecessor) view
-    std::unique_ptr<MirroredTrie> mirror;      // successor companion view
+    std::unique_ptr<LockFreeBinaryTrie> trie;  // both query directions
     PaddedAtomic<uint64_t> ins_epoch;
   };
 

@@ -1,5 +1,7 @@
 // Single-writer atomic copy (paper reference [7], used for
-// pNode.RuallPosition in Section 5).
+// pNode.RuallPosition in Section 5 — here PredecessorNode::
+// announce_position, which successor-direction operations point at the
+// SU-ALL instead).
 //
 // Semantics required by the paper (Figure 8 discussion): the predecessor
 // operation pOp must advance its announced RU-ALL position by *atomically*

@@ -82,8 +82,10 @@ class SingleWriterOracle {
 
   /// Successor-direction reader: same interval logging, validated against
   /// bitmask_successor. Sound for any structure whose successor reads the
-  /// same abstract state its updates write (single-writer runs never race
-  /// same-key updates, so the two-view composites qualify too).
+  /// same abstract state its updates write — since the native symmetric
+  /// successor landed that is every shipped structure (historically this
+  /// was the strongest sound check for the retired two-view composites,
+  /// whose mixed-direction histories full Wing–Gong could not admit).
   template <class Set>
   static void reader_successor_query(Set& set, Key y, HistoryClock& clock,
                                      std::vector<Query>& out) {

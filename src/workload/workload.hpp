@@ -2,12 +2,12 @@
 // operation streams over a key distribution.
 //
 // The op surface matches the repository-wide ordered-set API: the four
-// paper operations plus the src/query/ traversal pair (successor and
-// bounded range scans). Traversal ops default to 0% so every pre-existing
-// mix literal keeps its meaning, and apply_op only compiles traversal
-// calls for structures that model TraversableOrderedSet — running a
-// traversal mix against a predecessor-only structure is rejected by the
-// harness up front (see run_bench) instead of silently measuring no-ops.
+// paper operations plus the traversal pair (successor and bounded range
+// scans). Traversal ops default to 0% so every pre-existing mix literal
+// keeps its meaning, and apply_op only compiles traversal calls for
+// structures that model TraversableOrderedSet — running a traversal mix
+// against a structure without that surface is rejected by the harness up
+// front (see run_bench) instead of silently measuring no-ops.
 #pragma once
 
 #include <cassert>

@@ -25,12 +25,12 @@ struct StressSpec {
   int rounds = 60;
   int pred_weight = 30;    // percent of ops that are predecessor queries
   int contains_weight = 20;
-  // Percent of ops that are successor queries. Only sound for structures
-  // whose successor reads the SAME abstract state as contains/updates
-  // (MirroredTrie, single-view structures like the locked tries or the
-  // skip list) — for the two-view BidiTrie/ShardedTrie composites a mixed
-  // pred+succ history is not a single linearizable object under same-key
-  // update races (see query/bidi_trie.hpp), so keep this 0 there.
+  // Percent of ops that are successor queries. Every shipped structure's
+  // successor reads the same abstract state as contains/updates — the
+  // core trie's successor is native and symmetric since the SU-ALL
+  // machinery landed (core/lockfree_trie.hpp) — so mixed pred+succ
+  // histories are sound to check everywhere, including the same-key
+  // update races the retired two-view composites could not linearize.
   int succ_weight = 0;
   uint64_t seed = 1;
 };

@@ -1,10 +1,11 @@
 // Fault-injection tests: operations that "crash" at precise points of the
 // Section 5 algorithm (via the stall_*_for_test hooks and raw latest-list
-// surgery) must be helped to linearize, and predecessor queries must stay
-// correct even when a crashed op leaves the relaxed trie's interpreted
-// bits permanently stale — which deterministically exercises the
-// announcement (Iuall) path and the ⊥-fallback / Definition 5.1 TL-graph
-// path that random stress rarely reaches.
+// surgery) must be helped to linearize, and predecessor AND successor
+// queries must stay correct even when a crashed op leaves the relaxed
+// trie's interpreted bits permanently stale — which deterministically
+// exercises the announcement (Iuall) path and the ⊥-fallback /
+// Definition 5.1 TL-graph path (in both directions: delPred2 edges walk
+// down-key, delSucc2 edges up-key) that random stress rarely reaches.
 #include <gtest/gtest.h>
 
 #include "core/lockfree_trie.hpp"
@@ -142,6 +143,95 @@ TEST(Helping, ChainedStalledDeletesFollowDelPred2Edges) {
   testutil::quiescent_predecessor_exact(t, 64);
 }
 
+TEST(Helping, StalledPostActivationInsertCoveredInSuccessorDirection) {
+  // Mirror of StalledPostActivationInsertIsCoveredByAnnouncement: the
+  // trie bits never rise, so successor queries from below can only see
+  // the key through the permanent U-ALL/SU-ALL announcement.
+  LockFreeBinaryTrie t(64);
+  ASSERT_TRUE(t.stall_insert_for_test(9));
+  EXPECT_TRUE(t.contains(9));  // linearized
+  EXPECT_EQ(t.successor(0), 9);
+  EXPECT_EQ(t.successor(-1), 9);
+  EXPECT_EQ(t.successor(8), 9);
+  EXPECT_EQ(t.successor(9), kNoKey);
+  t.erase(9);
+  EXPECT_FALSE(t.contains(9));
+  EXPECT_EQ(t.successor(-1), kNoKey);
+}
+
+TEST(Helping, BottomFallbackRecoversInSuccessorDirection) {
+  // The Definition 5.1 adversary scenario reflected through the key
+  // order: a delete of 5 linearizes and crashes before DeleteBinaryTrie,
+  // poisoning 5's subtree with a stale 1 whose children are both 0 —
+  // every relaxed *successor* descent through it returns ⊥ forever, and
+  // the crashed DEL node sits in the SU-ALL (-> the successor Dpos).
+  // Queries must recover through the crashed delete's embedded
+  // *successor* announcement (delSucc/delSucc2 and its notify list).
+  LockFreeBinaryTrie t(64);
+  t.insert(5);
+  ASSERT_TRUE(t.stall_delete_for_test(5));
+  ASSERT_FALSE(t.contains(5));  // the delete linearized before crashing
+
+  TrieCore& core = t.core_for_test();
+  EXPECT_TRUE(core.interpreted_bit(core.leaf(5) >> 1));  // stale 1
+  EXPECT_FALSE(core.interpreted_bit(core.leaf(5)));
+
+  // Empty set: queries forced through the fallback still answer -1.
+  EXPECT_EQ(t.successor(4), kNoKey);
+  EXPECT_EQ(t.successor(-1), kNoKey);
+
+  // A key below the poisoned subtree resolves normally; queries at or
+  // above it must pass *through* the stale subtree.
+  t.insert(2);
+  EXPECT_EQ(t.successor(-1), 2);
+  EXPECT_EQ(t.successor(2), kNoKey);  // traversal hits ⊥ at 5's subtree
+  EXPECT_EQ(t.successor(3), kNoKey);
+
+  // The crux: insert(9) completes and retracts its announcement, so a
+  // later succ(3) can see 9 ONLY via the crashed delete's embedded
+  // successor notify list (L1 -> X -> R, edges walking up-key).
+  t.insert(9);
+  EXPECT_EQ(t.successor(3), 9);
+  EXPECT_EQ(t.successor(4), 9);
+  EXPECT_EQ(t.successor(2), 9);
+  EXPECT_EQ(t.successor(8), 9);
+  EXPECT_EQ(t.successor(9), kNoKey);
+
+  // Deleting 9 again must retract the candidate.
+  t.erase(9);
+  EXPECT_EQ(t.successor(3), kNoKey);
+
+  // New updates on key 5 supersede the crashed op and repair the bits.
+  t.insert(5);
+  EXPECT_TRUE(t.contains(5));
+  EXPECT_EQ(t.successor(4), 5);
+  EXPECT_EQ(t.successor(2), 5);
+  t.erase(5);
+  EXPECT_EQ(t.successor(2), kNoKey);
+  testutil::quiescent_predecessor_exact(t, 64);
+}
+
+TEST(Helping, ChainedStalledDeletesFollowDelSucc2Edges) {
+  // Mirror of ChainedStalledDeletesFollowDelPred2Edges: two crashed
+  // deletes whose delSucc2 results chain up-key.
+  LockFreeBinaryTrie t(64);
+  t.insert(3);
+  t.insert(12);
+  t.insert(20);
+  // Crash a delete of 3 (its delSucc2, computed with {12,20} remaining
+  // above, is 12), then of 12 (delSucc2 = 20).
+  ASSERT_TRUE(t.stall_delete_for_test(3));
+  ASSERT_TRUE(t.stall_delete_for_test(12));
+  EXPECT_FALSE(t.contains(3));
+  EXPECT_FALSE(t.contains(12));
+  EXPECT_TRUE(t.contains(20));
+  // Queries below the poisoned subtrees must surface 20.
+  EXPECT_EQ(t.successor(-1), 20);
+  EXPECT_EQ(t.successor(2), 20);
+  EXPECT_EQ(t.successor(11), 20);
+  EXPECT_EQ(t.successor(20), kNoKey);
+}
+
 TEST(Helping, ManyStalledOpsDoNotWedgeTheStructure) {
   LockFreeBinaryTrie t(256);
   // Crash an insert on every 16th key and a delete on every 32nd.
@@ -161,6 +251,10 @@ TEST(Helping, ManyStalledOpsDoNotWedgeTheStructure) {
   }
   for (Key y = 0; y <= 256; ++y) {
     ASSERT_EQ(t.predecessor(y), testutil::ref_predecessor(ref, y)) << y;
+  }
+  for (Key y = -1; y < 256; ++y) {
+    auto it = ref.upper_bound(y);
+    ASSERT_EQ(t.successor(y), it == ref.end() ? kNoKey : *it) << y;
   }
 }
 

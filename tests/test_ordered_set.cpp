@@ -51,12 +51,13 @@ static_assert(ShardedOrderedSet<ShardedTrie>);
 static_assert(!ShardedOrderedSet<LockFreeSkipList>);
 static_assert(!ShardedOrderedSet<LockFreeBinaryTrie>);
 
-// Traversal refinement (the src/query/ surface): every baseline, the
-// relaxed trie, the sharded trie and the companion-view BidiTrie carry
-// successor + range_scan. The paper's trie is predecessor-only BY DESIGN
-// — it must NOT satisfy the refinement (BidiTrie is its traversal face),
-// and the successor-only MirroredTrie is not even an OrderedSet.
-static_assert(TraversableOrderedSet<BidiTrie>);
+// Traversal refinement (successor + range_scan): every shipped structure
+// models it — including the paper's trie itself, whose successor is now
+// native and symmetric (core/lockfree_trie.hpp); BidiTrie is a retained
+// alias for it. The successor-only MirroredTrie oracle is deliberately
+// not even an OrderedSet.
+static_assert(TraversableOrderedSet<LockFreeBinaryTrie>);
+static_assert(std::same_as<BidiTrie, LockFreeBinaryTrie>);
 static_assert(TraversableOrderedSet<ShardedTrie>);
 static_assert(TraversableOrderedSet<RelaxedBinaryTrie>);
 static_assert(TraversableOrderedSet<LockFreeSkipList>);
@@ -66,7 +67,6 @@ static_assert(TraversableOrderedSet<CoarseLockTrie>);
 static_assert(TraversableOrderedSet<RwLockTrie>);
 static_assert(TraversableOrderedSet<SeqBinaryTrie>);
 static_assert(TraversableOrderedSet<VersionedTrie>);
-static_assert(!TraversableOrderedSet<LockFreeBinaryTrie>);
 static_assert(!OrderedSet<MirroredTrie>);
 
 TEST(OrderedSetFacade, AdapterMatchesDirectCalls) {
@@ -102,8 +102,12 @@ TEST(OrderedSetFacade, AdapterErasesTraversal) {
   ShardedTrie wrapped_impl(128, 8);
   AnyOrderedSet wrapped(wrapped_impl);
   EXPECT_TRUE(wrapped.supports_traversal());
+  // The core trie's successor is native now, so even the "bare" paper
+  // structure reports the full surface; the successor-only MirroredTrie
+  // oracle is the remaining partial-surface citizen (and is not an
+  // OrderedSet, so it cannot even be wrapped — see the static_asserts).
   LockFreeBinaryTrie bare(128);
-  EXPECT_FALSE(AnyOrderedSet(bare).supports_traversal());
+  EXPECT_TRUE(AnyOrderedSet(bare).supports_traversal());
 
   Xoshiro256 rng(23);
   std::vector<Key> a, b;
@@ -177,7 +181,7 @@ TEST(OrderedSetFacade, HeterogeneousStructuresOneDriver) {
 TEST(OrderedSetFacade, HeterogeneousTraversalOneDriver) {
   // Every traversable structure in the repository behind one erased
   // handle, driven through the full six-op surface against std::set.
-  // (The paper's predecessor-only trie participates as BidiTrie.)
+  // (BidiTrie == LockFreeBinaryTrie: the native-successor core trie.)
   BidiTrie a(128);
   ShardedTrie b(128, 8);
   RelaxedBinaryTrie c(128);

@@ -163,9 +163,10 @@ TEST(RangeScan, EdgeCases) {
 //
 // A scan window spanning a ShardedTrie shard boundary while the keys at
 // the boundary churn. Every churned key is owned by exactly one thread
-// (no same-key update races — the two-view precondition), and a set of
-// pinned keys is never touched after setup. The weak-consistency
-// contract then guarantees for every observed scan:
+// (keeps the reference key-set reasoning simple; the native successor
+// needs no two-view precondition), and a set of pinned keys is never
+// touched after setup. The weak-consistency contract then guarantees for
+// every observed scan:
 //   * strictly ascending, within [lo, hi];
 //   * every pinned key inside the window is reported;
 //   * everything reported is a pinned or churned key (nothing invented).

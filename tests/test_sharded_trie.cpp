@@ -137,11 +137,11 @@ TEST(ShardedTrieSeq, SequentialDifferentialNonDividing) {
 }
 
 TEST(ShardedTrieSeq, SequentialDifferentialWidthOne) {
-  // Width-1 shards (32 = kMaxShards, so no clamping widens them): every
+  // Width-1 shards (64 = kMaxShards, so no clamping widens them): every
   // cross-shard walk degenerates to a pure summary scan; stresses the
   // empty-shard skip path hardest.
-  ShardedTrie t(32, 32);
-  testutil::sequential_differential(t, 32, 20000, /*seed=*/13);
+  ShardedTrie t(64, 64);
+  testutil::sequential_differential(t, 64, 20000, /*seed=*/13);
 }
 
 TEST(ShardedTrieSize, QuiescentExactness) {

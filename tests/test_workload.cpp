@@ -123,7 +123,7 @@ TEST(Harness, TraversalMixRunsAndCountsScans) {
   EXPECT_LT(res.steps.scan_ops, 2400u);
   EXPECT_GE(res.steps.scan_keys, res.steps.scan_ops / 2);  // dense prefill
 
-  // The same mix drives the paper trie's companion-view face.
+  // The same mix drives the paper's trie directly (native successor).
   Stats::reset();
   auto res2 = bench_fresh<BidiTrie>(cfg);
   EXPECT_EQ(res2.total_ops, 8000u);
@@ -151,8 +151,8 @@ void traversal_mix_smoke() {
 TEST(Harness, TraversalMixAcrossEveryTraversableStructure) {
   // The acceptance bar for the query subsystem: the workload harness
   // exercises successor AND range_scan against every traversable
-  // structure (the paper's trie via its BidiTrie face). Tiny op counts —
-  // this is a does-it-run-everywhere gate, not a benchmark.
+  // structure (BidiTrie == the paper's trie, native successor). Tiny op
+  // counts — this is a does-it-run-everywhere gate, not a benchmark.
   traversal_mix_smoke<BidiTrie>();
   traversal_mix_smoke<ShardedTrie>();
   traversal_mix_smoke<RelaxedBinaryTrie>();
