@@ -68,25 +68,45 @@ bench::JsonRows g_json;
 
 template <class Set>
 double run_cell(const char* name, const OpMix& mix, int threads,
-                uint64_t total_ops) {
+                uint64_t total_ops, bool latency_panel = false) {
   BenchConfig cfg;
   cfg.universe = Key{1} << 20;
   cfg.prefill_keys = 1 << 15;
   cfg.mix = mix;
   cfg.threads = threads;
   cfg.ops_per_thread = bench::scaled(total_ops) / static_cast<uint64_t>(threads);
+  cfg.sample_latency = latency_panel;
   Stats::reset();
   auto res = bench_fresh<Set>(cfg);
-  bench::row(bench::fmt("| %-12s | %2d | %-22s | %9.3f |", name, threads,
-                        mix.name().c_str(), res.mops_per_sec));
-  g_json.add_result(name, 0, threads, mix, "uniform", res);
+  if (latency_panel) {
+    bench::row(bench::fmt(
+        "| %-12s | %2d | %-22s | %9.3f | %8llu | %8llu | %8llu |", name,
+        threads, mix.name().c_str(), res.mops_per_sec,
+        static_cast<unsigned long long>(res.latency_pct(0.50)),
+        static_cast<unsigned long long>(res.latency_pct(0.95)),
+        static_cast<unsigned long long>(res.latency_pct(0.99))));
+    g_json.add_latency_result(name, 0, threads, mix, "uniform", res);
+  } else {
+    bench::row(bench::fmt("| %-12s | %2d | %-22s | %9.3f |", name, threads,
+                          mix.name().c_str(), res.mops_per_sec));
+    g_json.add_result(name, 0, threads, mix, "uniform", res);
+  }
   return res.mops_per_sec;
 }
 
-void table_header(const char* title) {
+void table_header(const char* title, bool latency_panel = false) {
   bench::row(bench::fmt("### %s", title));
-  bench::row("| structure    | th | mix                    |  Mops/s   |");
-  bench::row("|--------------|----|------------------------|-----------|");
+  if (latency_panel) {
+    bench::row(
+        "| structure    | th | mix                    |  Mops/s   |  p50 ns  "
+        "|  p95 ns  |  p99 ns  |");
+    bench::row(
+        "|--------------|----|------------------------|-----------|----------"
+        "|----------|----------|");
+  } else {
+    bench::row("| structure    | th | mix                    |  Mops/s   |");
+    bench::row("|--------------|----|------------------------|-----------|");
+  }
 }
 
 }  // namespace
@@ -103,14 +123,17 @@ int main() {
   double native_at8 = 0.0, dual_at8 = 0.0;
 
   // The headline table: pure update throughput — exactly the work the
-  // double-write path doubles.
-  table_header("update-heavy (i50/d50), thread sweep, uniform");
+  // double-write path doubles. Sampled per-op latency percentiles ride
+  // along (updates are half deletes here) so this panel and E12's
+  // delete-cost panel share one comparable shape.
+  table_header("update-heavy (i50/d50), thread sweep, uniform",
+               /*latency_panel=*/true);
   for (int threads : {1, 2, 4, 8}) {
     if (!bench::threads_allowed(threads)) continue;
-    const double n =
-        run_cell<LockFreeBinaryTrie>("native-trie", kUpdateHeavy, threads, total_ops);
-    const double d =
-        run_cell<DoubleWriteTrie>("double-write", kUpdateHeavy, threads, total_ops);
+    const double n = run_cell<LockFreeBinaryTrie>(
+        "native-trie", kUpdateHeavy, threads, total_ops, /*latency_panel=*/true);
+    const double d = run_cell<DoubleWriteTrie>(
+        "double-write", kUpdateHeavy, threads, total_ops, /*latency_panel=*/true);
     if (threads == 8) {
       native_at8 = n;
       dual_at8 = d;

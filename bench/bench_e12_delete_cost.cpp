@@ -1,0 +1,147 @@
+// E12: fused bidirectional embedded queries — the delete constant.
+//
+// Claim under test: fusing a Delete's embedded queries (one
+// QueryDir::kBoth announcement answering predecessor AND successor from
+// a single announce point, twice per Delete) beats the pre-fused PR 3
+// path (four single-direction helpers per Delete), because every fused
+// pair saves one P-ALL push/retract, one P-ALL suffix snapshot, one
+// position-list registration and — system-wide — halves the number of
+// announcements every concurrent notifier must walk and push to. The
+// relaxed-trie traversals are NOT saved (both directions still descend
+// the trie), so the expected win is the announcement-machinery constant,
+// which delete-heavy mixes at thread counts with real contention expose.
+//
+// Baseline: LockFreeBinaryTrie::erase_unfused_for_bench — the PR 3
+// delete preserved verbatim (four helpers), running on the SAME trie
+// build (scratch arena, node recycling, stats toggle all shared), so the
+// measured ratio isolates fusion itself.
+//
+// Acceptance bar (ISSUE 4): fused/unfused delete-heavy (i50/d50)
+// throughput >= 1.3x at 8 threads, taken as the median of 5 interleaved
+// repetitions (thread counts above the host's core count time-slice, so
+// a single sample of either structure can land anywhere inside a wide
+// scheduling band — interleaving and medians keep the comparison fair
+// on any host). Rows carry per-op latency percentiles (p50/p95/p99,
+// sampled) so E11/E12 share a comparable panel; everything is recorded
+// to BENCH_E12.json.
+#include <algorithm>
+
+#include "bench_util.hpp"
+#include "core/lockfree_trie.hpp"
+
+namespace lfbt {
+namespace {
+
+/// The core trie with its delete pinned to the pre-fused (PR 3) path.
+struct UnfusedDeleteTrie : LockFreeBinaryTrie {
+  using LockFreeBinaryTrie::LockFreeBinaryTrie;
+  void erase(Key x) { erase_unfused_for_bench(x); }
+};
+
+static_assert(TraversableOrderedSet<UnfusedDeleteTrie>);
+
+bench::JsonRows g_json;
+
+template <class Set>
+BenchResult run_cell(const char* name, const OpMix& mix, int threads,
+                     uint64_t total_ops) {
+  BenchConfig cfg;
+  // Churn-heavy small keyspace: half-full, so ~half the deletes hit a
+  // present key and actually run their embedded queries (in the 2^20
+  // sparse config of E11, ~97% of deletes return at l.183 having
+  // embedded nothing, and the quantity under test never executes). The
+  // small universe also keeps the O(log u) relaxed traversals — which
+  // fusion deliberately does NOT halve — from drowning the
+  // announcement-machinery constant it does.
+  cfg.universe = Key{1} << 10;
+  cfg.prefill_keys = 1 << 9;
+  cfg.mix = mix;
+  cfg.threads = threads;
+  cfg.ops_per_thread = bench::scaled(total_ops) / static_cast<uint64_t>(threads);
+  cfg.sample_latency = true;
+  Stats::reset();
+  auto res = bench_fresh<Set>(cfg);
+  bench::row(bench::fmt(
+      "| %-13s | %2d | %-22s | %9.3f | %8llu | %8llu | %8llu |", name, threads,
+      mix.name().c_str(), res.mops_per_sec,
+      static_cast<unsigned long long>(res.latency_pct(0.50)),
+      static_cast<unsigned long long>(res.latency_pct(0.95)),
+      static_cast<unsigned long long>(res.latency_pct(0.99))));
+  g_json.add_latency_result(name, 0, threads, mix, "uniform", res);
+  return res;
+}
+
+void table_header(const char* title) {
+  bench::row(bench::fmt("### %s", title));
+  bench::row(
+      "| structure     | th | mix                    |  Mops/s   |  p50 ns  "
+      "|  p95 ns  |  p99 ns  |");
+  bench::row(
+      "|---------------|----|------------------------|-----------|----------"
+      "|----------|----------|");
+}
+
+}  // namespace
+}  // namespace lfbt
+
+int main() {
+  using namespace lfbt;
+  bench::header(
+      "E12: fused vs unfused embedded delete queries",
+      "a Delete embedding two fused direction-pair queries beats the PR 3 "
+      "path of four single-direction helpers on delete-heavy mixes");
+
+  const uint64_t total_ops = 400000;
+  double fused_at8 = 0.0, unfused_at8 = 0.0;
+
+  // The headline table: the acceptance mix — 50% delete traffic, where
+  // the embedded-query constant dominates the update cost. The 8-thread
+  // acceptance pair runs 5 interleaved repetitions; the recorded numbers
+  // (and the ratio below) are the medians.
+  table_header("delete-heavy (i50/d50), thread sweep, uniform");
+  for (int threads : {1, 2, 4}) {
+    if (!bench::threads_allowed(threads)) continue;
+    run_cell<LockFreeBinaryTrie>("fused-delete", kUpdateHeavy, threads, total_ops);
+    run_cell<UnfusedDeleteTrie>("unfused-PR3", kUpdateHeavy, threads, total_ops);
+  }
+  if (bench::threads_allowed(8)) {
+    constexpr int kReps = 5;
+    double fused[kReps], unfused[kReps];
+    for (int rep = 0; rep < kReps; ++rep) {
+      fused[rep] =
+          run_cell<LockFreeBinaryTrie>("fused-delete", kUpdateHeavy, 8,
+                                       2 * total_ops)
+              .mops_per_sec;
+      unfused[rep] =
+          run_cell<UnfusedDeleteTrie>("unfused-PR3", kUpdateHeavy, 8,
+                                      2 * total_ops)
+              .mops_per_sec;
+    }
+    std::sort(fused, fused + kReps);
+    std::sort(unfused, unfused + kReps);
+    fused_at8 = fused[kReps / 2];
+    unfused_at8 = unfused[kReps / 2];
+  }
+  bench::row("");
+
+  // Deletes racing queries: embedded announcements and query
+  // announcements share the P-ALL, so fusing also shortens every
+  // concurrent query's snapshot and every notifier's walk.
+  table_header("delete+query (i20/d20/p30/S30), thread sweep, uniform");
+  const OpMix kDeleteQueryMix{20, 20, 0, 30, 30, 0};
+  for (int threads : {1, 2, 4, 8}) {
+    if (!bench::threads_allowed(threads)) continue;
+    run_cell<LockFreeBinaryTrie>("fused-delete", kDeleteQueryMix, threads, total_ops);
+    run_cell<UnfusedDeleteTrie>("unfused-PR3", kDeleteQueryMix, threads, total_ops);
+  }
+  bench::row("");
+
+  if (fused_at8 > 0.0 && unfused_at8 > 0.0) {
+    bench::row(bench::fmt(
+        "fused/unfused delete-heavy throughput ratio at 8 threads "
+        "(median of 5): %.2fx (acceptance bar: 1.3x)",
+        fused_at8 / unfused_at8));
+  }
+
+  return g_json.write("BENCH_E12.json") ? 0 : 1;
+}

@@ -3,41 +3,72 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sync/ebr.hpp"
+
 namespace lfbt {
 namespace {
-
-bool contains_node(const std::vector<UpdateNode*>& v, const UpdateNode* n) {
-  return std::find(v.begin(), v.end(), n) != v.end();
-}
-
-void push_unique(std::vector<UpdateNode*>& v, UpdateNode* n) {
-  if (n != nullptr && !contains_node(v, n)) v.push_back(n);
-}
-
-/// "Prepend if not already present" (paper l.236/241): traversing a notify
-/// list newest-first and prepending yields oldest-first order.
-void prepend_unique(std::vector<UpdateNode*>& v, UpdateNode* n) {
-  if (n != nullptr && !contains_node(v, n)) v.insert(v.begin(), n);
-}
-
-void erase_node(std::vector<UpdateNode*>& v, const UpdateNode* n) {
-  v.erase(std::remove(v.begin(), v.end(), n), v.end());
-}
 
 /// Directional candidate combiner: keeps the largest key for predecessor
 /// queries and the smallest for successor queries; kNoKey means "no
 /// candidate yet" and never beats a real key.
-void consider(Key& best, Key cand, QueryDir dir) {
+void consider(Key& best, Key cand, bool is_pred) {
   if (cand == kNoKey) return;
   if (best == kNoKey) {
     best = cand;
   } else {
-    best = dir == QueryDir::kPred ? std::max(best, cand) : std::min(best, cand);
+    best = is_pred ? std::max(best, cand) : std::min(best, cand);
   }
 }
 
-void consider_all(Key& best, const std::vector<UpdateNode*>& v, QueryDir dir) {
-  for (const UpdateNode* n : v) consider(best, n->key, dir);
+template <class Vec>
+void consider_all(Key& best, const Vec& v, bool is_pred) {
+  for (const UpdateNode* n : v) consider(best, n->key, is_pred);
+}
+
+/// The threshold / U-ALL extremum of notification `nn` as seen by
+/// direction `is_pred` of its target `p`: a fused target keeps the
+/// successor direction's pair in the *_succ mirrors, a single-direction
+/// target uses the base fields for its own direction.
+Key notify_threshold_for(const PredecessorNode* p, const NotifyNode* nn,
+                         bool is_pred) {
+  return p->dir == QueryDir::kBoth && !is_pred ? nn->notify_threshold_succ
+                                               : nn->notify_threshold;
+}
+UpdateNode* notify_ext_for(const PredecessorNode* p, const NotifyNode* nn,
+                           bool is_pred) {
+  return p->dir == QueryDir::kBoth && !is_pred ? nn->update_node_ext_succ
+                                               : nn->update_node_ext;
+}
+
+/// One direction's share of the notify-list pass (paper l.218–227 and
+/// its mirror): acceptance tests are the paper's, reflected through the
+/// key order for the successor side; dedup via the scratch seen-sets
+/// replaces the old push_unique scans.
+void accept_notification(const PredecessorNode* p, const NotifyNode* nn,
+                         bool is_pred, DirScratch& ds) {
+  const Key thr = notify_threshold_for(p, nn, is_pred);
+  if (nn->update_node->type == NodeType::kIns) {
+    const bool accept = is_pred ? thr <= nn->key : thr >= nn->key;
+    if (accept && ds.i_notify_seen.insert(nn->update_node)) {
+      ds.i_notify.push_back(nn->update_node);
+    }
+  } else {
+    const bool accept = is_pred ? thr < nn->key : thr > nn->key;
+    if (accept && ds.d_notify_seen.insert(nn->update_node)) {
+      ds.d_notify.push_back(nn->update_node);
+    }
+  }
+  // l.226–227: accept the notifier's U-ALL extremum when we were past
+  // the position-list end at notification time and the notifier itself
+  // is not an update we already account for via the position list.
+  const Key end_threshold = is_pred ? kNegInf : kPosInf;
+  if (thr == end_threshold && !ds.i_pos_set.contains(nn->update_node) &&
+      !ds.d_pos_set.contains(nn->update_node)) {
+    UpdateNode* ext = notify_ext_for(p, nn, is_pred);
+    if (ext != nullptr && ds.i_notify_seen.insert(ext)) {
+      ds.i_notify.push_back(ext);
+    }
+  }
 }
 
 }  // namespace
@@ -88,9 +119,11 @@ void LockFreeBinaryTrie::help_activate(UpdateNode* u) {
   }
 }
 
-// Paper l.162–180.
+// Paper l.162–180. The guard covers notify_query_ops' P-ALL walk (its
+// targets may be recycled announcement nodes).
 void LockFreeBinaryTrie::insert(Key x) {
   assert(x >= 0 && x < core_.universe());
+  ebr::Guard guard;
   UpdateNode* d_node = core_.find_latest(x);
   if (d_node->type != NodeType::kDel) return;  // l.164: x already in S
   auto* i_node = arena_.create<UpdateNode>(x, NodeType::kIns);
@@ -115,29 +148,30 @@ void LockFreeBinaryTrie::insert(Key x) {
   retract(i_node);                                 // l.179
 }
 
-// Paper l.181–206, with the successor-direction embedded queries run
-// symmetrically beside the paper's embedded predecessors: delSucc before
-// the claiming CAS, delSucc2 after activation and before
-// DeleteBinaryTrie — so, like delPred2 (l.201 precedes l.203), delSucc2
-// is always written before this DEL node can reach a notify list.
+// Paper l.181–206 with the embedded queries FUSED: one direction-pair
+// helper before the claiming CAS (producing delPred AND delSucc from a
+// single announce point) and one after activation, before
+// DeleteBinaryTrie (producing delPred2 AND delSucc2) — so, exactly as in
+// the paper (l.201 precedes l.203), both second-query results are always
+// written before this DEL node can reach a notify list. Two helper
+// invocations where the pre-fused path ran four.
 void LockFreeBinaryTrie::erase(Key x) {
   assert(x >= 0 && x < core_.universe());
+  ebr::Guard guard;
   UpdateNode* i_node = core_.find_latest(x);
   if (i_node->type != NodeType::kIns) return;  // l.183: x not in S
-  auto [del_pred, p_node1] = query_helper(x, QueryDir::kPred);  // l.184
-  auto [del_succ, s_node1] = query_helper(x, QueryDir::kSucc);  // mirror
+  QueryAnswer q1 = query_helper_fused(x, QueryDir::kBoth);  // l.184 + mirror
   auto* d_node = arena_.create<DelNode>(x, core_.b());
-  d_node->latest_next.store(i_node);  // l.187
-  d_node->del_pred = del_pred;        // l.188
-  d_node->del_pred_node = p_node1;    // l.189
-  d_node->del_succ = del_succ;        // mirror of l.188
-  d_node->del_succ_node = s_node1;    // mirror of l.189
-  i_node->latest_next.store(nullptr); // l.190
-  notify_query_ops(i_node);           // l.191 — help previous Insert notify
+  d_node->latest_next.store(i_node);     // l.187
+  d_node->del_pred = q1.pred;            // l.188
+  d_node->del_succ = q1.succ;            // mirror of l.188
+  d_node->del_query_node = q1.node;      // l.189 (one node, both directions)
+  d_node->del_query_gen = q1.node->gen;
+  i_node->latest_next.store(nullptr);    // l.190
+  notify_query_ops(i_node);              // l.191 — help previous Insert notify
   if (!core_.cas_latest(x, i_node, d_node)) {
     help_activate(core_.read_latest(x));  // l.193
-    pall_.remove(p_node1);                // l.194
-    pall_.remove(s_node1);
+    retire_query_node(q1.node);           // l.194
     return;
   }
   announce(d_node);                               // l.196
@@ -147,109 +181,159 @@ void LockFreeBinaryTrie::erase(Key x) {
     tg->stop.store(true);
   }
   d_node->latest_next.store(nullptr);             // l.199
-  auto [del_pred2, p_node2] = query_helper(x, QueryDir::kPred);  // l.200
-  auto [del_succ2, s_node2] = query_helper(x, QueryDir::kSucc);  // mirror
-  d_node->del_pred2.store(del_pred2);             // l.201
-  d_node->del_succ2.store(del_succ2);             // mirror of l.201
+  QueryAnswer q2 = query_helper_fused(x, QueryDir::kBoth);  // l.200 + mirror
+  d_node->del_pred2.store(q2.pred);               // l.201
+  d_node->del_succ2.store(q2.succ);               // mirror of l.201
   core_.delete_binary_trie(d_node);               // l.202
   notify_query_ops(d_node);                       // l.203
   d_node->completed.store(true);                  // l.204
   retract(d_node);                                // l.205
-  pall_.remove(p_node1);                          // l.206
-  pall_.remove(s_node1);
-  pall_.remove(p_node2);
-  pall_.remove(s_node2);
+  retire_query_node(q1.node);                     // l.206
+  retire_query_node(q2.node);
 }
 
-// Paper l.137–145. Collects first-activated update nodes with key < x.
-// The U-ALL is ascending, so the relevant cells are a prefix and the walk
-// can stop at the first cell with key >= x.
-LockFreeBinaryTrie::UallSets LockFreeBinaryTrie::traverse_uall(Key x) {
-  UallSets out;
-  for (AnnCell* c = uall_.next_visible(uall_.head());
-       c != uall_.tail() && c->key < x; c = uall_.next_visible(c)) {
-    UpdateNode* u = c->node;
-    Stats::count_read();
-    if (u->status.load() != UpdateNode::kInactive && core_.first_activated(u)) {
-      push_unique(u->type == NodeType::kIns ? out.ins : out.del, u);
-    }
+// The PR 3 delete, preserved as the E12 baseline: four single-direction
+// embedded helpers (two per direction — the cost the fused path halves).
+// Correctness is the pre-fused argument; the one representational
+// difference is that del_query_node records the first *predecessor*
+// helper's announcement (the old code kept one node per direction).
+void LockFreeBinaryTrie::erase_unfused_for_bench(Key x) {
+  assert(x >= 0 && x < core_.universe());
+  ebr::Guard guard;
+  UpdateNode* i_node = core_.find_latest(x);
+  if (i_node->type != NodeType::kIns) return;
+  QueryAnswer p1 = query_helper_fused(x, QueryDir::kPred);
+  QueryAnswer s1 = query_helper_fused(x, QueryDir::kSucc);
+  auto* d_node = arena_.create<DelNode>(x, core_.b());
+  d_node->latest_next.store(i_node);
+  d_node->del_pred = p1.pred;
+  d_node->del_succ = s1.succ;
+  d_node->del_query_node = p1.node;
+  d_node->del_query_gen = p1.node->gen;
+  i_node->latest_next.store(nullptr);
+  notify_query_ops(i_node);
+  if (!core_.cas_latest(x, i_node, d_node)) {
+    help_activate(core_.read_latest(x));
+    retire_query_node(p1.node);
+    retire_query_node(s1.node);
+    return;
   }
-  return out;
+  announce(d_node);
+  d_node->status.store(UpdateNode::kActive);
+  size_.fetch_sub(1);
+  if (DelNode* tg = i_node->target.load()) tg->stop.store(true);
+  d_node->latest_next.store(nullptr);
+  QueryAnswer p2 = query_helper_fused(x, QueryDir::kPred);
+  QueryAnswer s2 = query_helper_fused(x, QueryDir::kSucc);
+  d_node->del_pred2.store(p2.pred);
+  d_node->del_succ2.store(s2.succ);
+  core_.delete_binary_trie(d_node);
+  notify_query_ops(d_node);
+  d_node->completed.store(true);
+  retract(d_node);
+  retire_query_node(p1.node);
+  retire_query_node(s1.node);
+  retire_query_node(p2.node);
+  retire_query_node(s2.node);
 }
 
-// Successor mirror of traverse_uall: first-activated update nodes with
-// key > x. The relevant cells are a *suffix* of the ascending U-ALL, so
-// the walk spans the whole list and filters (cost O(length of U-ALL),
-// the same bound the prefix walk has in the worst case).
-LockFreeBinaryTrie::UallSets LockFreeBinaryTrie::traverse_uall_above(Key x) {
-  UallSets out;
+// Paper l.137–145 and its successor mirror, fused into ONE pass over the
+// ascending U-ALL: first-activated update nodes with key < x go to
+// *below, with key > x to *above. A predecessor-only caller (above ==
+// nullptr) stops at the first cell with key >= x, recovering the paper's
+// prefix-walk cost; a successor-only caller filters the prefix away (the
+// suffix walk's cost is O(U-ALL length) either way). Each update node
+// appears at most once per walk — cells are claimed canonically
+// (announce_list.hpp) and the walk only moves forward — so plain
+// push_back replaces the old push_unique scan.
+void LockFreeBinaryTrie::traverse_uall_fused(Key x, UallBufs* below,
+                                             UallBufs* above) {
   for (AnnCell* c = uall_.next_visible(uall_.head()); c != uall_.tail();
        c = uall_.next_visible(c)) {
     Stats::count_read();
-    if (c->key <= x) continue;
+    if (c->key >= x && above == nullptr) break;
+    if (c->key == x) continue;
+    UallBufs* dst = c->key < x ? below : above;
+    if (dst == nullptr) continue;
     UpdateNode* u = c->node;
     if (u->status.load() != UpdateNode::kInactive && core_.first_activated(u)) {
-      push_unique(u->type == NodeType::kIns ? out.ins : out.del, u);
+      (u->type == NodeType::kIns ? dst->ins : dst->del).push_back(u);
     }
   }
-  return out;
 }
 
-// Paper l.146–155, serving both query directions: the threshold is the
-// target's current position in *its* list (RU-ALL for predecessor ops,
-// SU-ALL for successor ops) and the recorded U-ALL extremum is the
-// directional one (largest INS key below / smallest INS key above the
-// target's key).
+// Paper l.146–155, serving all three announcement kinds: the threshold
+// is the target's current position in each list it traverses (RU-ALL
+// for the predecessor direction, SU-ALL for the successor direction —
+// both for a fused target) and the recorded U-ALL extremum is the
+// directional one per direction (largest INS key below / smallest INS
+// key above the target's key). A fused target receives ONE notify node
+// carrying both directions' pairs.
 void LockFreeBinaryTrie::notify_query_ops(UpdateNode* u) {
-  UallSets sets = traverse_uall(kPosInf);  // l.147 — ascending, all keys
+  QueryScratch& sc = QueryScratch::get();
+  sc.notify_uall.clear();
+  traverse_uall_fused(kPosInf, &sc.notify_uall, nullptr);  // l.147 — all keys
+  const auto& ins = sc.notify_uall.ins;                    // ascending
   for (PredecessorNode* p = pall_.first_live(); p != nullptr;
        p = PAll::next_live(p)) {
     if (!core_.first_activated(u)) return;  // l.149
     auto* n = arena_.create<NotifyNode>();
     n->key = u->key;
     n->update_node = u;
-    n->update_node_ext = nullptr;
-    if (p->dir == QueryDir::kPred) {
+    if (p->dir != QueryDir::kSucc) {  // predecessor side (kPred / kBoth)
       // l.153: INS node in the U-ALL snapshot with largest key < p->key.
-      for (auto it = sets.ins.rbegin(); it != sets.ins.rend(); ++it) {
-        if ((*it)->key < p->key) {
-          n->update_node_ext = *it;
+      for (std::size_t i = ins.size(); i-- > 0;) {
+        if (ins[i]->key < p->key) {
+          n->update_node_ext = ins[i];
           break;
         }
       }
-    } else {
-      // Mirror: INS node with smallest key > p->key (sets.ins ascending).
-      for (UpdateNode* cand : sets.ins) {
+      // l.154: the query op's current RU-ALL position key.
+      n->notify_threshold =
+          AnnounceList::strip(p->position(QueryDir::kPred).read())->key;
+    }
+    if (p->dir != QueryDir::kPred) {  // successor side (kSucc / kBoth)
+      // Mirror of l.153: INS node with smallest key > p->key.
+      UpdateNode* ext = nullptr;
+      for (UpdateNode* cand : ins) {
         if (cand->key > p->key) {
-          n->update_node_ext = cand;
+          ext = cand;
           break;
         }
+      }
+      const Key thr =
+          AnnounceList::strip(p->position(QueryDir::kSucc).read())->key;
+      if (p->dir == QueryDir::kBoth) {
+        n->update_node_ext_succ = ext;
+        n->notify_threshold_succ = thr;
+      } else {
+        n->update_node_ext = ext;
+        n->notify_threshold = thr;
       }
     }
-    // l.154: the query op's current position-list key.
-    AnnCell* pos = AnnounceList::strip(p->announce_position.read());
-    n->notify_threshold = pos->key;
     // l.156–161: publish, revalidating first-activation before the CAS.
     bool sent = NotifyList::push(p, n, [&] { return core_.first_activated(u); });
     if (!sent) return;
   }
 }
 
-// Paper l.257–269 and its mirror. Advances p->announce_position with
-// atomic copies and collects first-activated update nodes on p's side of
-// its key: key < p->key walking the descending RU-ALL for predecessor
-// ops, key > p->key walking the ascending SU-ALL for successor ops.
+// Paper l.257–269 and its mirror. Advances the direction's position word
+// with atomic copies and collects first-activated update nodes on that
+// side of the key: key < p->key walking the descending RU-ALL for the
+// predecessor direction, key > p->key walking the ascending SU-ALL for
+// the successor direction. Each node appears at most once (canonical
+// cells, strictly advancing single-writer position), so the sorted-set
+// inserts serve as the membership index, not as dedup.
 void LockFreeBinaryTrie::traverse_position_list(PredecessorNode* p,
-                                                std::vector<UpdateNode*>& ins,
-                                                std::vector<UpdateNode*>& del) {
-  const bool is_pred = p->dir == QueryDir::kPred;
+                                                bool is_pred, DirScratch& ds) {
   AnnounceList& list = is_pred ? ruall_ : suall_;
   const int slot = is_pred ? kRuall : kSuall;
+  AtomicCopyWord& pos = p->position(is_pred ? QueryDir::kPred : QueryDir::kSucc);
   const Key y = p->key;
-  AnnCell* u = AnnounceList::strip(p->announce_position.read());
+  AnnCell* u = AnnounceList::strip(pos.read());
   do {
-    p->announce_position.copy(list.next_word(u));  // l.262 — atomic copy
-    u = AnnounceList::strip(p->announce_position.read());
+    pos.copy(list.next_word(u));  // l.262 — atomic copy
+    u = AnnounceList::strip(pos.read());
     Stats::count_read();
     if (u != list.tail() && (is_pred ? u->key < y : u->key > y)) {
       UpdateNode* n = u->node;
@@ -257,89 +341,108 @@ void LockFreeBinaryTrie::traverse_position_list(PredecessorNode* p,
       // helpers that lost the announcement claim; see announce_list.hpp.
       if (n->status.load() != UpdateNode::kInactive &&
           n->ann_cell[slot].load() == u && core_.first_activated(n)) {
-        push_unique(n->type == NodeType::kIns ? ins : del, n);
+        if (n->type == NodeType::kIns) {
+          ds.i_pos_set.insert(n);
+        } else if (ds.d_pos_set.insert(n)) {
+          ds.d_pos.push_back(n);
+        }
       }
     }
   } while (u != list.tail());
 }
 
-// Paper l.207–252 (PredHelper), parameterized by direction: with dir ==
-// kSucc every comparison, traversal order and extremum is reflected
-// through the key order, which is exactly the paper's algorithm on the
-// mirrored universe. The linearization-point argument carries over under
-// the reflection — see docs/DESIGN.md, "Symmetric successor".
-std::pair<Key, PredecessorNode*> LockFreeBinaryTrie::query_helper(
+// Paper l.207–252 (PredHelper) and its key-order mirror, FUSED: one
+// P-ALL announcement (tagged with `dir`), one Q snapshot, one pass over
+// the notify list and one pass over the U-ALL serve every direction the
+// caller asked for. With dir == kPred or kSucc the other side is inert
+// and this is exactly the pre-fused single-direction helper (the paper's
+// algorithm, reflected for kSucc), so predecessor()/successor() keep
+// their proofs. With dir == kBoth the two directions share the announce
+// point; each direction's acceptance tests, candidate sets and fallback
+// are evaluated independently against that one announcement — see
+// docs/DESIGN.md, "Fused bidirectional embedded queries".
+LockFreeBinaryTrie::QueryAnswer LockFreeBinaryTrie::query_helper_fused(
     Key y, QueryDir dir) {
-  const bool is_pred = dir == QueryDir::kPred;
-  auto* p_node = arena_.create<PredecessorNode>(y, dir);
-  p_node->announce_position.store(
-      AnnounceList::pack(is_pred ? ruall_.head() : suall_.head()));
-  pall_.push(p_node);  // l.209 — announce
+  const bool want_pred = dir != QueryDir::kSucc;
+  const bool want_succ = dir != QueryDir::kPred;
+  Stats::count_query_helper(dir == QueryDir::kBoth);
 
-  // l.210–214: snapshot the P-ALL suffix; prepending makes Q oldest-first.
-  // Q deliberately contains both directions' announcements; the fallback
-  // below matches only the pointers a same-direction Delete embedded.
-  std::vector<PredecessorNode*> q;
+  QueryScratch& sc = QueryScratch::get();
+  sc.reset_query();
+
+  PredecessorNode* p_node = QueryNodePool::acquire(y, dir);
+  if (want_pred) {
+    p_node->position(QueryDir::kPred)
+        .store(AnnounceList::pack(ruall_.head()));
+  }
+  if (want_succ) {
+    p_node->position(QueryDir::kSucc)
+        .store(AnnounceList::pack(suall_.head()));
+  }
+  pall_.push(p_node);  // l.209 — the ONE announce point for all directions
+
+  // l.210–214: snapshot the P-ALL suffix. Kept newest-first (raw chain
+  // order); the fallback's oldest-first scans iterate it backwards, which
+  // drops the per-query reverse the old path paid. Q deliberately
+  // contains every announcement kind; the fallback matches only the
+  // node a Delete embedded (plus its generation).
   for (PredecessorNode* it = PAll::next_raw(p_node); it != nullptr;
        it = PAll::next_raw(it)) {
-    q.push_back(it);
-  }
-  std::reverse(q.begin(), q.end());
-
-  std::vector<UpdateNode*> i_pos, d_pos;
-  traverse_position_list(p_node, i_pos, d_pos);  // l.215 (+ mirror)
-  Key r0 = is_pred ? core_.relaxed_predecessor(y)   // l.216 — CT starts here
-                   : core_.relaxed_successor(y);
-  UallSets uall_sets = is_pred ? traverse_uall(y)   // l.217 (+ mirror)
-                               : traverse_uall_above(y);
-
-  // l.218–227: collect notifications (head snapshot = Cnotify). For the
-  // successor direction the acceptance tests reflect: an INS notification
-  // is needed iff the op's position had already moved past the key
-  // (threshold <= key descending; >= key ascending), and the
-  // "end-of-list" sentinel is the tail of the op's own position list
-  // (kNegInf for the RU-ALL, kPosInf for the SU-ALL).
-  const Key end_threshold = is_pred ? kNegInf : kPosInf;
-  std::vector<UpdateNode*> i_notify, d_notify;
-  for (NotifyNode* nn = NotifyList::head(p_node); nn != nullptr; nn = nn->next) {
-    if (is_pred ? nn->key >= y : nn->key <= y) continue;
-    if (nn->update_node->type == NodeType::kIns) {
-      const bool accept = is_pred ? nn->notify_threshold <= nn->key
-                                  : nn->notify_threshold >= nn->key;
-      if (accept) push_unique(i_notify, nn->update_node);
-    } else {
-      const bool accept = is_pred ? nn->notify_threshold < nn->key
-                                  : nn->notify_threshold > nn->key;
-      if (accept) push_unique(d_notify, nn->update_node);
-    }
-    // l.226–227: accept the notifier's U-ALL extremum when we were past
-    // the position-list end at notification time and the notifier itself
-    // is not an update we already account for via the position list.
-    if (nn->notify_threshold == end_threshold &&
-        !contains_node(i_pos, nn->update_node) &&
-        !contains_node(d_pos, nn->update_node)) {
-      push_unique(i_notify, nn->update_node_ext);
-    }
+    sc.q.push_back(it);
   }
 
+  if (want_pred) traverse_position_list(p_node, true, sc.side[0]);  // l.215
+  if (want_succ) traverse_position_list(p_node, false, sc.side[1]);
+  Key r0_pred = want_pred ? core_.relaxed_predecessor(y) : kNoKey;  // l.216
+  Key r0_succ = want_succ ? core_.relaxed_successor(y) : kNoKey;
+  traverse_uall_fused(y, want_pred ? &sc.side[0].uall : nullptr,    // l.217
+                      want_succ ? &sc.side[1].uall : nullptr);
+
+  // l.218–227 and its mirror in ONE pass: each notification is offered
+  // to every direction whose window contains its key, under that
+  // direction's threshold/extremum (notify_threshold_for). The head
+  // snapshot (Cnotify) is shared — both directions see the same prefix.
+  for (NotifyNode* nn = NotifyList::head(p_node); nn != nullptr;
+       nn = nn->next) {
+    if (want_pred && nn->key < y) accept_notification(p_node, nn, true, sc.side[0]);
+    if (want_succ && nn->key > y) accept_notification(p_node, nn, false, sc.side[1]);
+  }
+
+  QueryAnswer out;
+  out.node = p_node;
+  if (want_pred) {
+    out.pred = direction_answer(y, true, p_node, r0_pred, sc, sc.side[0]);
+  }
+  if (want_succ) {
+    out.succ = direction_answer(y, false, p_node, r0_succ, sc, sc.side[1]);
+  }
+  return out;  // l.252
+}
+
+// Paper l.228–252 for one direction: combine the announcement-derived
+// candidate sets into r1, resolve a ⊥ from the relaxed traversal through
+// the fallback, and take the directional extremum.
+Key LockFreeBinaryTrie::direction_answer(Key y, bool is_pred,
+                                         PredecessorNode* p_node, Key r0,
+                                         QueryScratch& sc, DirScratch& ds) {
   // l.228: r1 over Iuall ∪ Inotify ∪ (Duall − Dpos) ∪ (Dnotify − Dpos),
   // taking the directional extremum (max below y / min above y).
   Key r1 = kNoKey;
-  consider_all(r1, uall_sets.ins, dir);
-  consider_all(r1, i_notify, dir);
-  for (UpdateNode* n : uall_sets.del) {
-    if (!contains_node(d_pos, n)) consider(r1, n->key, dir);
+  consider_all(r1, ds.uall.ins, is_pred);
+  consider_all(r1, ds.i_notify, is_pred);
+  for (UpdateNode* n : ds.uall.del) {
+    if (!ds.d_pos_set.contains(n)) consider(r1, n->key, is_pred);
   }
-  for (UpdateNode* n : d_notify) {
-    if (!contains_node(d_pos, n)) consider(r1, n->key, dir);
+  for (UpdateNode* n : ds.d_notify) {
+    if (!ds.d_pos_set.contains(n)) consider(r1, n->key, is_pred);
   }
 
   // l.230–251: the trie traversal was blocked by concurrent updates.
   if (r0 == kBottom) {
-    r0 = d_pos.empty() ? kNoKey : bottom_fallback(y, dir, p_node, q, d_pos);
+    r0 = ds.d_pos.empty() ? kNoKey : bottom_fallback(y, is_pred, p_node, sc, ds);
   }
-  consider(r1, r0, dir);
-  return {r1, p_node};  // l.252
+  consider(r1, r0, is_pred);
+  return r1;
 }
 
 // Paper l.231–251, parameterized by direction: recover a candidate from
@@ -347,120 +450,134 @@ std::pair<Key, PredecessorNode*> LockFreeBinaryTrie::query_helper(
 // deletes (Dpos: the Druall of the paper, or its SU-ALL mirror) are in
 // flight. The TL graph's edges are key -> delPred2 for predecessor
 // queries (strictly decreasing) and key -> delSucc2 for successor ones
-// (strictly increasing); either way walks terminate at sinks.
-Key LockFreeBinaryTrie::bottom_fallback(
-    Key y, QueryDir dir, PredecessorNode* p_node,
-    const std::vector<PredecessorNode*>& q,
-    const std::vector<UpdateNode*>& d_pos) {
-  const bool is_pred = dir == QueryDir::kPred;
+// (strictly increasing); either way walks terminate at sinks. Every
+// working set lives in the per-thread scratch; membership tests are
+// sorted-set probes.
+Key LockFreeBinaryTrie::bottom_fallback(Key y, bool is_pred,
+                                        PredecessorNode* p_node,
+                                        QueryScratch& sc, DirScratch& ds) {
   auto in_window = [&](Key k) { return is_pred ? k < y : k > y; };
 
-  // l.232–234: the earliest-announced first-embedded-query node (of this
-  // direction) of a Dpos delete that we saw in the P-ALL.
+  // l.232–234: the earliest-announced embedded-query node of a Dpos
+  // delete that we saw in the P-ALL. sc.q is newest-first, so walk it
+  // backwards (oldest-first) and stop at the first match — the same
+  // early exit the paper's oldest-first Q scan has. The generation
+  // check rejects an embedded node that was recycled into a fresh
+  // announcement (equivalent to it having been physically unlinked
+  // before our snapshot, which the algorithm already tolerates).
   PredecessorNode* p_prime = nullptr;
-  for (PredecessorNode* cand : q) {
-    for (UpdateNode* n : d_pos) {
+  for (std::size_t i = sc.q.size(); i-- > 0 && p_prime == nullptr;) {
+    PredecessorNode* cand = sc.q[i];
+    for (UpdateNode* n : ds.d_pos) {
       auto* dn = static_cast<DelNode*>(n);
-      if ((is_pred ? dn->del_pred_node : dn->del_succ_node) == cand) {
+      if (dn->del_query_node == cand && dn->del_query_gen == cand->gen) {
         p_prime = cand;
         break;
       }
     }
-    if (p_prime != nullptr) break;
   }
 
   // l.231–236: L1 = update nodes that notified pNode', oldest-first.
-  std::vector<UpdateNode*> l1;
+  // The notify list is newest-first; "prepend if not already present"
+  // (keep the newest occurrence, reverse the order) becomes append-if-
+  // first-seen followed by one reverse.
+  sc.l1.clear();
+  sc.l_seen.clear();
   if (p_prime != nullptr) {
-    for (NotifyNode* nn = NotifyList::head(p_prime); nn != nullptr; nn = nn->next) {
-      if (in_window(nn->key)) prepend_unique(l1, nn->update_node);
+    for (NotifyNode* nn = NotifyList::head(p_prime); nn != nullptr;
+         nn = nn->next) {
+      if (in_window(nn->key) && sc.l_seen.insert(nn->update_node)) {
+        sc.l1.push_back(nn->update_node);
+      }
     }
   }
+  sc.l1.reverse();
 
   // l.237–241: L2 from our own notify list (the notifications we
   // *rejected* plus early INS ones — thresholds on the not-yet-passed
   // side of the key); every notifier seen here is dropped from L1.
-  std::vector<UpdateNode*> l2;
-  for (NotifyNode* nn = NotifyList::head(p_node); nn != nullptr; nn = nn->next) {
+  sc.l2.clear();
+  sc.l_seen.clear();
+  for (NotifyNode* nn = NotifyList::head(p_node); nn != nullptr;
+       nn = nn->next) {
     if (!in_window(nn->key)) continue;
-    erase_node(l1, nn->update_node);
-    const bool rejected_side = is_pred ? nn->notify_threshold >= nn->key
-                                       : nn->notify_threshold <= nn->key;
-    if (rejected_side) prepend_unique(l2, nn->update_node);
-  }
-
-  // l.242: L = L1 ++ L2.
-  std::vector<UpdateNode*> l = l1;
-  for (UpdateNode* n : l2) l.push_back(n);
-
-  // l.243: drop every DEL node that is not the last update node in L with
-  // its key (direction-independent: pure same-key recency).
-  std::vector<UpdateNode*> filtered;
-  for (std::size_t i = 0; i < l.size(); ++i) {
-    if (l[i]->type == NodeType::kDel) {
-      bool later_same_key = false;
-      for (std::size_t j = i + 1; j < l.size(); ++j) {
-        if (l[j]->key == l[i]->key) {
-          later_same_key = true;
-          break;
-        }
-      }
-      if (later_same_key) continue;
+    sc.l1.remove_value(nn->update_node);
+    const Key thr = notify_threshold_for(p_node, nn, is_pred);
+    const bool rejected_side = is_pred ? thr >= nn->key : thr <= nn->key;
+    if (rejected_side && sc.l_seen.insert(nn->update_node)) {
+      sc.l2.push_back(nn->update_node);
     }
-    filtered.push_back(l[i]);
   }
+  sc.l2.reverse();
+
+  // l.242–243: L = L1 ++ L2, then drop every DEL node that is not the
+  // last update node in L with its key (direction-independent: pure
+  // same-key recency). One backward pass with a key-set replaces the old
+  // quadratic forward scan; the second reverse restores L's order.
+  sc.l_filtered.clear();
+  sc.key_seen.clear();
+  const std::size_t n1 = sc.l1.size(), n2 = sc.l2.size();
+  for (std::size_t i = n1 + n2; i-- > 0;) {
+    UpdateNode* n = i < n1 ? sc.l1[i] : sc.l2[i - n1];
+    const bool later_same_key = sc.key_seen.contains(n->key);
+    sc.key_seen.insert(n->key);
+    if (n->type == NodeType::kDel && later_same_key) continue;
+    sc.l_filtered.push_back(n);
+  }
+  sc.l_filtered.reverse();
 
   // Definition 5.1: TL = (V, E), E = {key -> delPred2} (or delSucc2) for
   // DEL nodes in L. After l.243 there is at most one DEL node (hence one
   // outgoing edge) per key, and every edge strictly moves away from y
   // (down-key for predecessor, up-key for successor), so walks from X
-  // terminate at sinks.
-  std::vector<std::pair<Key, Key>> edges;
-  for (UpdateNode* n : filtered) {
+  // terminate at sinks. Edges are sorted by source for binary search.
+  sc.edges.clear();
+  for (UpdateNode* n : sc.l_filtered) {
     if (n->type == NodeType::kDel) {
       auto* dn = static_cast<DelNode*>(n);
       Key d2 = is_pred ? dn->del_pred2.load() : dn->del_succ2.load();
       // DEL nodes reach notify lists only after delPred2/delSucc2 are
       // written (l.201 + mirror precede l.203); guard anyway.
-      if (d2 != kUnsetPred) edges.emplace_back(n->key, d2);
+      if (d2 != kUnsetPred) sc.edges.push_back({n->key, d2});
     }
   }
-  auto out_edge = [&edges](Key v) -> const Key* {
-    for (const auto& [from, to] : edges) {
-      if (from == v) return &to;
-    }
-    return nullptr;
+  std::sort(sc.edges.begin(), sc.edges.end(),
+            [](const QueryScratch::Edge& a, const QueryScratch::Edge& b) {
+              return a.from < b.from;
+            });
+  auto out_edge = [&](Key v) -> const Key* {
+    const auto* it = std::lower_bound(
+        sc.edges.begin(), sc.edges.end(), v,
+        [](const QueryScratch::Edge& e, Key k) { return e.from < k; });
+    return it != sc.edges.end() && it->from == v ? &it->to : nullptr;
   };
 
   // l.247–248: X = {delPred/delSucc of Dpos deletes} ∪ {keys of INS
   // nodes in L}.
-  std::vector<Key> x_set;
-  for (UpdateNode* n : d_pos) {
+  sc.x_set.clear();
+  for (UpdateNode* n : ds.d_pos) {
     auto* dn = static_cast<DelNode*>(n);
-    x_set.push_back(is_pred ? dn->del_pred : dn->del_succ);
+    sc.x_set.push_back(is_pred ? dn->del_pred : dn->del_succ);
   }
-  for (UpdateNode* n : filtered) {
-    if (n->type == NodeType::kIns) x_set.push_back(n->key);
+  for (UpdateNode* n : sc.l_filtered) {
+    if (n->type == NodeType::kIns) sc.x_set.push_back(n->key);
   }
 
-  // l.249: R = sinks reachable from X (chain walks; edges are monotone).
-  std::vector<Key> r;
-  for (Key v : x_set) {
-    // Bounded walk as defence in depth; chains are strictly monotone.
-    for (int steps = 0; steps < 1 + 64; ++steps) {
+  // l.249–251: R = sinks reachable from X (chain walks; edges are
+  // monotone, so a walk takes at most one step per edge), minus the keys
+  // of Dpos deletes; answer with the directional extremum of R (the
+  // paper guarantees non-emptiness; return -1 defensively).
+  sc.key_seen.clear();
+  for (UpdateNode* n : ds.d_pos) sc.key_seen.insert(n->key);
+  Key best = kNoKey;
+  for (Key v : sc.x_set) {
+    for (std::size_t steps = 0; steps <= sc.edges.size(); ++steps) {
       const Key* next = out_edge(v);
       if (next == nullptr) break;
       v = *next;
     }
-    r.push_back(v);
+    if (!sc.key_seen.contains(v)) consider(best, v, is_pred);
   }
-  // l.250: drop keys of Dpos deletes.
-  for (UpdateNode* n : d_pos) {
-    r.erase(std::remove(r.begin(), r.end(), n->key), r.end());
-  }
-  // l.251 (paper guarantees non-emptiness; return -1 defensively).
-  Key best = kNoKey;
-  for (Key v : r) consider(best, v, dir);
   return best;
 }
 
@@ -481,21 +598,20 @@ bool LockFreeBinaryTrie::stall_insert_for_test(Key x) {
 }
 
 bool LockFreeBinaryTrie::stall_delete_for_test(Key x) {
+  ebr::Guard guard;
   UpdateNode* i_node = core_.find_latest(x);
   if (i_node->type != NodeType::kIns) return false;
-  auto [del_pred, p_node1] = query_helper(x, QueryDir::kPred);
-  auto [del_succ, s_node1] = query_helper(x, QueryDir::kSucc);
+  QueryAnswer q1 = query_helper_fused(x, QueryDir::kBoth);
   auto* d_node = arena_.create<DelNode>(x, core_.b());
   d_node->latest_next.store(i_node);
-  d_node->del_pred = del_pred;
-  d_node->del_pred_node = p_node1;
-  d_node->del_succ = del_succ;
-  d_node->del_succ_node = s_node1;
+  d_node->del_pred = q1.pred;
+  d_node->del_succ = q1.succ;
+  d_node->del_query_node = q1.node;
+  d_node->del_query_gen = q1.node->gen;
   i_node->latest_next.store(nullptr);
   notify_query_ops(i_node);
   if (!core_.cas_latest(x, i_node, d_node)) {
-    pall_.remove(p_node1);
-    pall_.remove(s_node1);
+    retire_query_node(q1.node);
     return false;
   }
   announce(d_node);
@@ -503,29 +619,31 @@ bool LockFreeBinaryTrie::stall_delete_for_test(Key x) {
   size_.fetch_sub(1);
   if (DelNode* tg = i_node->target.load()) tg->stop.store(true);
   d_node->latest_next.store(nullptr);
-  auto [del_pred2, p_node2] = query_helper(x, QueryDir::kPred);
-  auto [del_succ2, s_node2] = query_helper(x, QueryDir::kSucc);
-  (void)p_node2;  // stay announced, exactly like a crashed thread's
-  (void)s_node2;
-  d_node->del_pred2.store(del_pred2);
-  d_node->del_succ2.store(del_succ2);
+  // Neither fused announcement is ever retired: both stay in the P-ALL
+  // forever, exactly like a crashed thread's.
+  QueryAnswer q2 = query_helper_fused(x, QueryDir::kBoth);
+  d_node->del_pred2.store(q2.pred);
+  d_node->del_succ2.store(q2.succ);
   return true;  // crash before DeleteBinaryTrie / notify / retract.
 }
 
-// Paper l.253–256.
+// Paper l.253–256: the fused helper with the successor side inert is
+// exactly the paper's Predecessor.
 Key LockFreeBinaryTrie::predecessor(Key y) {
   assert(y >= 0 && y <= core_.universe());
-  auto [pred, p_node] = query_helper(y, QueryDir::kPred);
-  pall_.remove(p_node);  // l.255
-  return pred;
+  ebr::Guard guard;
+  QueryAnswer a = query_helper_fused(y, QueryDir::kPred);
+  retire_query_node(a.node);  // l.255
+  return a.pred;
 }
 
-// Mirror of l.253–256: the same helper reflected through the key order.
+// Mirror of l.253–256: the fused helper with the predecessor side inert.
 Key LockFreeBinaryTrie::successor(Key y) {
   assert(y >= -1 && y < core_.universe());
-  auto [succ, s_node] = query_helper(y, QueryDir::kSucc);
-  pall_.remove(s_node);
-  return succ;
+  ebr::Guard guard;
+  QueryAnswer a = query_helper_fused(y, QueryDir::kSucc);
+  retire_query_node(a.node);
+  return a.succ;
 }
 
 }  // namespace lfbt

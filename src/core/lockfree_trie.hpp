@@ -21,21 +21,35 @@
 //    operations with announced positions, the exact mirror image of the
 //    descending RU-ALL that predecessor operations traverse;
 //  * the P-ALL announcement list with per-query notify lists (PAll /
-//    NotifyList), now holding both directions' announcements
-//    (PredecessorNode::dir); notifiers record the directional threshold
-//    and U-ALL extremum each target needs;
-//  * embedded Predecessor AND Successor operations inside every Delete
-//    (delPred/delPred2 and their mirrors delSucc/delSucc2), consumed by
-//    the ⊥-fallbacks of the two query helpers (Definition 5.1 TL graph;
-//    the successor graph's edges point up the key order instead of down).
+//    NotifyList), holding single-direction announcements and the fused
+//    direction pairs (PredecessorNode::dir == QueryDir::kBoth);
+//    notifiers record the directional threshold and U-ALL extremum each
+//    target direction needs;
+//  * embedded Predecessor AND Successor operations inside every Delete,
+//    executed as two *fused* direction-pair queries (delPred/delSucc
+//    from the first, delPred2/delSucc2 from the second), consumed by
+//    the ⊥-fallbacks of the two query directions (Definition 5.1 TL
+//    graph; the successor graph's edges point up the key order).
 //
 // Why native symmetry (vs the retired key-mirrored companion view): one
 // trie means one abstract state, so histories mixing predecessor and
 // successor — including same-key update races — are linearizable on a
 // single object, and updates stop paying for a second full trie. An
 // insert pays one extra announcement cell; a delete pays two embedded
-// successor queries (it already ran two embedded predecessors). See
-// docs/DESIGN.md, "Symmetric successor", for the linearization argument.
+// fused queries — one P-ALL announcement each, answering both
+// directions from a single announce point, where the pre-fused design
+// ran four single-direction helpers. See docs/DESIGN.md, "Symmetric
+// successor" and "Fused bidirectional embedded queries", for the
+// linearization arguments.
+//
+// Query hot path: helpers draw their working sets from a per-thread
+// scratch arena (sync/scratch.hpp — small-inline vectors, sorted-set
+// membership instead of O(n²) scans), and announcement nodes are
+// recycled through the EBR substrate once they leave the P-ALL
+// (QueryNodePool in lists/pall.hpp), so a steady-state query performs no
+// heap allocation at all. Every operation that touches the P-ALL runs
+// inside an ebr::Guard; that guard is what makes both the node pool's
+// pop and the recycled nodes' reuse ABA-free.
 //
 // Progress: lock-free. Operations that lose the latest[x] CAS help the
 // winner activate (HelpActivate) and return; predecessor and successor
@@ -54,6 +68,7 @@
 #include "lists/pall.hpp"
 #include "query/range_scan.hpp"
 #include "relaxed/trie_core.hpp"
+#include "sync/scratch.hpp"
 
 namespace lfbt {
 
@@ -71,9 +86,16 @@ class LockFreeBinaryTrie {
   void insert(Key x);
 
   /// Paper Delete (l.181–206). Linearized at the status flip of its DEL
-  /// node. Runs two embedded Predecessor and two embedded Successor
-  /// operations whose results feed concurrent queries' ⊥-fallbacks.
+  /// node. Runs exactly TWO embedded fused queries (each answering both
+  /// directions from one announce point) whose results feed concurrent
+  /// queries' ⊥-fallbacks in both directions.
   void erase(Key x);
+
+  /// The pre-fused (PR 3) Delete, kept verbatim as the E12 baseline: four
+  /// single-direction embedded query helpers instead of two fused ones.
+  /// Semantically equivalent to erase() (bench/test use only — see
+  /// bench_e12_delete_cost.cpp).
+  void erase_unfused_for_bench(Key x);
 
   /// Paper Predecessor (l.253–256): largest key < y in S at the
   /// linearization point, or kNoKey (-1). y in [0, universe()].
@@ -123,32 +145,50 @@ class LockFreeBinaryTrie {
   bool stall_insert_for_test(Key x);
 
   /// Test-only fault injection: runs Delete(x) through activation and the
-  /// second embedded predecessor/successor pair (l.201 + mirror), then
-  /// "crashes" — leaving its interpreted bits stale and its embedded
-  /// query announcements in the P-ALL forever. Models the adversary
-  /// Section 5's ⊥-fallback (Definition 5.1) exists for, in both query
-  /// directions. Returns false if x was absent.
+  /// second embedded fused query (l.201 + mirror), then "crashes" —
+  /// leaving its interpreted bits stale and its two fused announcements
+  /// in the P-ALL forever. Models the adversary Section 5's ⊥-fallback
+  /// (Definition 5.1) exists for: both directions' fallbacks must
+  /// recover through the SAME fused announcement. Returns false if x
+  /// was absent.
   bool stall_delete_for_test(Key x);
 
  private:
-  struct UallSets {
-    std::vector<UpdateNode*> ins;  // ascending key order
-    std::vector<UpdateNode*> del;
+  /// What one fused helper invocation returns: the direction answers the
+  /// caller asked for (the inert side stays kNoKey) and the announcement
+  /// node, which the caller must retire via retire_query_node().
+  struct QueryAnswer {
+    Key pred = kNoKey;
+    Key succ = kNoKey;
+    PredecessorNode* node = nullptr;
   };
 
   void announce(UpdateNode* u);  // insert into U-ALL, RU-ALL, SU-ALL (order!)
   void retract(UpdateNode* u);   // remove in the same order
   void help_activate(UpdateNode* u);                       // l.128–136
-  UallSets traverse_uall(Key x);                         // l.137–145
-  UallSets traverse_uall_above(Key x);   // successor mirror: keys > x
+  // One pass over the U-ALL serving both directions (l.137–145 and its
+  // mirror): first-activated nodes with key < x into *below, key > x
+  // into *above; either sink may be null (single-direction callers).
+  void traverse_uall_fused(Key x, UallBufs* below, UallBufs* above);
   void notify_query_ops(UpdateNode* u);                    // l.146–155
-  void traverse_position_list(PredecessorNode* p,
-                              std::vector<UpdateNode*>& ins,
-                              std::vector<UpdateNode*>& del);  // l.257–269
-  std::pair<Key, PredecessorNode*> query_helper(Key y, QueryDir dir);  // l.207–252
-  Key bottom_fallback(Key y, QueryDir dir, PredecessorNode* p_node,
-                        const std::vector<PredecessorNode*>& q,
-                        const std::vector<UpdateNode*>& d_pos);  // l.230–251
+  void traverse_position_list(PredecessorNode* p, bool is_pred,
+                              DirScratch& ds);             // l.257–269
+  // l.207–252 and its mirror, fused: one announcement, one Q snapshot,
+  // one notify-list pass and one U-ALL pass answer the direction(s)
+  // `dir` selects (kBoth for a Delete's embedded pair; kPred/kSucc run
+  // with the other side inert, preserving the single-direction proofs).
+  QueryAnswer query_helper_fused(Key y, QueryDir dir);
+  Key direction_answer(Key y, bool is_pred, PredecessorNode* p_node, Key r0,
+                       QueryScratch& sc, DirScratch& ds);  // l.228–252
+  Key bottom_fallback(Key y, bool is_pred, PredecessorNode* p_node,
+                      QueryScratch& sc, DirScratch& ds);   // l.230–251
+
+  /// Detach a finished query announcement from the P-ALL and hand it to
+  /// the recycling pool (EBR-deferred; see QueryNodePool).
+  void retire_query_node(PredecessorNode* p) {
+    pall_.remove_for_reuse(p);  // l.255/206: retract the announcement
+    QueryNodePool::release(p);
+  }
 
   NodeArena arena_;
   TrieCore core_;

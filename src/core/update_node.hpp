@@ -43,7 +43,13 @@ enum : int { kUall = 0, kRuall = 1, kSuall = 2, kNumAnnSlots = 3 };
 /// Direction of an announced query operation (paper Predecessor, or its
 /// mirror-image Successor). Selects which position list the operation
 /// traverses (RU-ALL / SU-ALL) and how notifications are filtered.
-enum class QueryDir : uint8_t { kPred = 0, kSucc = 1 };
+/// `kBoth` tags a *fused* direction-pair announcement: one P-ALL node
+/// that answers predecessor AND successor from a single announce point —
+/// the form every Delete embeds (core/lockfree_trie.cpp,
+/// query_helper_fused). A fused announcement carries one position cell
+/// per direction and receives both directions' thresholds/extrema in
+/// each notification.
+enum class QueryDir : uint8_t { kPred = 0, kSucc = 1, kBoth = 2 };
 
 /// Paper lines 91–104. INS and DEL nodes share a base; DEL-only fields
 /// live in DelNode.
@@ -95,27 +101,37 @@ struct DelNode : UpdateNode {
   MinRegister lower1;
 
   // --- Full-trie (Section 5) fields; unused by the relaxed trie. ---
+  //
+  // Every Delete embeds TWO fused direction-pair queries (QueryDir::
+  // kBoth): one before the claiming CAS whose announcement node and
+  // results are recorded below, one after activation whose results land
+  // in delPred2/delSucc2 (written before DeleteBinaryTrie, l.201 and its
+  // mirror). The predecessor fields feed the ⊥-fallback of predecessor
+  // queries exactly as in the paper; the successor mirrors feed the
+  // reflected TL graph of Definition 5.1 (edges walking up-key).
 
-  /// Predecessor node of the first embedded Predecessor (immutable).
-  PredecessorNode* del_pred_node = nullptr;
+  /// Announcement node of the first embedded fused query (immutable).
+  /// Both directions' fallback pointer-matching (paper l.232–234 and its
+  /// mirror) tests against this one node.
+  PredecessorNode* del_query_node = nullptr;
+
+  /// Recycling generation of del_query_node at embedding time. Query
+  /// nodes are recycled through EBR once retired from the P-ALL
+  /// (lists/pall.hpp, QueryNodePool); a fallback match must therefore
+  /// also compare generations — a mismatch means the embedded query's
+  /// node left the P-ALL before the observer's snapshot, which the
+  /// algorithm already treats as "announcement no longer present".
+  uint64_t del_query_gen = 0;
 
   /// Result of the first embedded Predecessor (immutable).
   Key del_pred = kNoKey;
 
+  /// Result of the first embedded Successor (immutable).
+  Key del_succ = kNoKey;
+
   /// Result of the second embedded Predecessor; kUnsetPred until written
   /// (before DeleteBinaryTrie, l.201).
   std::atomic<Key> del_pred2{kUnsetPred};
-
-  // --- Successor-direction mirrors of the three fields above. Every
-  // Delete also embeds two Successor operations, feeding the ⊥-fallback
-  // of successor queries exactly as delPred/delPred2 feed predecessor's
-  // (the TL graph of Definition 5.1 with the edge direction reversed). ---
-
-  /// Query node of the first embedded Successor (immutable).
-  PredecessorNode* del_succ_node = nullptr;
-
-  /// Result of the first embedded Successor (immutable).
-  Key del_succ = kNoKey;
 
   /// Result of the second embedded Successor; kUnsetPred until written
   /// (before DeleteBinaryTrie, mirroring l.201).
@@ -128,6 +144,12 @@ inline DelNode* UpdateNode::as_del() noexcept {
 
 /// A notification pushed by an update operation onto an announced query
 /// node's notify list (paper lines 109–113). Immutable after publication.
+/// A notification to a fused (QueryDir::kBoth) target is one node
+/// carrying both directions' thresholds and extrema: the predecessor
+/// direction reads the base fields, the successor direction the *_succ
+/// mirrors. Single-direction targets use the base fields only, with the
+/// target's own direction deciding their meaning (unchanged from the
+/// pre-fused design).
 struct NotifyNode {
   Key key = 0;
   UpdateNode* update_node = nullptr;
@@ -139,19 +161,33 @@ struct NotifyNode {
   /// Key of the RU-ALL (pred) / SU-ALL (succ) cell the query operation
   /// was visiting when notified.
   Key notify_threshold = kPosInf;
+  /// Successor-direction mirrors, written only for kBoth targets: the
+  /// INS node with the smallest key > the target's key, and the target's
+  /// SU-ALL position key at notification time. kNegInf fails every
+  /// successor acceptance test, so an unwritten mirror is inert.
+  UpdateNode* update_node_ext_succ = nullptr;
+  Key notify_threshold_succ = kNegInf;
   NotifyNode* next = nullptr;
 };
 
 /// Announcement of a Predecessor — or, with dir == kSucc, its mirror
-/// Successor — operation in the P-ALL (lines 105–108). The paper's name
-/// is kept: a successor announcement is structurally a predecessor
-/// announcement under the key-order reflection.
+/// Successor, or with dir == kBoth, a *fused* direction pair — in the
+/// P-ALL (lines 105–108). The paper's name is kept: a successor
+/// announcement is structurally a predecessor announcement under the
+/// key-order reflection, and a fused announcement is both at one
+/// announce point.
 struct PredecessorNode {
   explicit PredecessorNode(Key k, QueryDir d = QueryDir::kPred)
       : key(k), dir(d) {}
 
-  const Key key;
-  const QueryDir dir;
+  /// Immutable for the lifetime of each announcement; rewritten only by
+  /// QueryNodePool::acquire when recycling a node no thread can
+  /// reference (post-EBR-grace), which is why they are not const: the
+  /// pool resets fields individually rather than ending and restarting
+  /// the object's lifetime, so concurrent free-list poppers reading the
+  /// atomic link race with nothing non-atomic.
+  Key key;
+  QueryDir dir;
 
   /// Insert-only list of notifications, newest first.
   std::atomic<NotifyNode*> notify_head{nullptr};
@@ -160,11 +196,39 @@ struct PredecessorNode {
   /// cell for predecessor-direction ops, an SU-ALL cell for
   /// successor-direction ones; single-writer atomic copy target (see
   /// atomic_copy.hpp). Holds an AnnCell* word, possibly with the list
-  /// mark (bit 1) set — strip with AnnCell masks.
+  /// mark (bit 1) set — strip with AnnCell masks. A fused (kBoth)
+  /// announcement keeps its RU-ALL position here and its SU-ALL position
+  /// in `succ_position`; use position() to select.
   AtomicCopyWord announce_position;
 
-  /// Intrusive hook for the P-ALL (mark in bit 0: removed).
+  /// SU-ALL position of a fused announcement (unused otherwise).
+  AtomicCopyWord succ_position;
+
+  /// The position word serving direction `side` (kPred or kSucc) of this
+  /// announcement. Call only for a direction this node actually
+  /// announces.
+  AtomicCopyWord& position(QueryDir side) noexcept {
+    return dir == QueryDir::kBoth && side == QueryDir::kSucc
+               ? succ_position
+               : announce_position;
+  }
+
+  /// Intrusive hook for the P-ALL (mark in bit 0: removed). Doubles as
+  /// the free-list link while the node rests in QueryNodePool.
   std::atomic<uintptr_t> pall_next{0};
+
+  // --- QueryNodePool bookkeeping (lists/pall.hpp); the pool's
+  // per-field reset preserves both across recycling. ---
+
+  /// Incremented on every reuse; pointer matches against embedded-query
+  /// references (DelNode::del_query_node) must also match the recorded
+  /// generation.
+  uint64_t gen = 0;
+
+  /// Immortal all-nodes registry link (keeps every pool node reachable,
+  /// so leak checkers see quiescent pool memory as live, and gives the
+  /// pool its bookkeeping chain). Set once at first allocation.
+  PredecessorNode* pool_all_next = nullptr;
 };
 
 }  // namespace lfbt

@@ -1,23 +1,39 @@
 // P-ALL: the query announcement linked list of Section 5 (the paper's
-// predecessor announcement list, now holding both directions' announced
-// query operations — PredecessorNode::dir distinguishes them), plus the
-// insert-only notify lists hanging off each announced node.
+// predecessor announcement list, holding single-direction announcements
+// and the fused direction pairs every Delete embeds —
+// PredecessorNode::dir distinguishes them), plus the insert-only notify
+// lists hanging off each announced node, plus the EBR-backed recycling
+// pool the trie returns retired announcement nodes to.
 //
 // The P-ALL is an unsorted lock-free list with LIFO insertion at the head
 // and mark-based removal (mark bit 0 of the intrusive `pall_next` hook).
 // Removed nodes stay traversable — the paper's PredHelper deliberately
 // walks `next` chains that may pass through retired announcements (its Q
-// sequence), and DEL nodes keep `delPredNode`/`delSuccNode` references to
-// completed embedded queries. Nodes are arena-managed, so this is safe;
-// marked nodes are physically snipped opportunistically to keep
-// traversals short. One shared list (rather than a per-direction pair)
-// keeps every notifier walking a single chain; readers filter by `dir`
-// only where direction matters (the ⊥-fallback's pointer matching).
+// sequence), and DEL nodes keep `delQueryNode` references to completed
+// embedded queries. Marked nodes are physically snipped opportunistically
+// to keep traversals short; nodes destined for reuse go through
+// remove_for_reuse, which additionally *guarantees* physical detachment
+// (see below). One shared list (rather than a per-direction pair) keeps
+// every notifier walking a single chain; readers filter by `dir` only
+// where direction matters (the ⊥-fallback's pointer matching).
+//
+// Next-word discipline (Harris): a node's `pall_next` is only ever
+// CAS-written while unmarked — marking sets the mark bit, so any unlink
+// CAS whose expected value predates the mark fails. Hence a marked
+// node's successor pointer is frozen, and once a marked node is
+// unreachable from the head it can never be re-linked: every CAS that
+// would bridge *to* it requires an expected value that the unlinking
+// steps already overwrote. That invariant is what makes recycling sound:
+// remove_for_reuse returns only when the node is provably off the chain,
+// after which an EBR grace period (sync/ebr.hpp) outlasts every thread
+// that could still hold a reference from an older traversal.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "core/update_node.hpp"
+#include "sync/ebr.hpp"
 #include "sync/stats.hpp"
 
 namespace lfbt {
@@ -51,6 +67,26 @@ class PAll {
       if (n->pall_next.compare_exchange_weak(w, w | kMark)) break;
     }
     snip(n);
+  }
+
+  /// remove(), plus a guarantee on return: `n` is physically unreachable
+  /// from the head, so after an EBR grace period it may be recycled (its
+  /// `pall_next` reused as a free-list link). Loops snip passes until a
+  /// raw-chain walk no longer finds `n`; each failed pass implies a
+  /// concurrent CAS succeeded, so the loop is lock-free in the usual
+  /// helping sense. Cost O(chain length) — the same order as the Q
+  /// snapshot every query already takes.
+  void remove_for_reuse(PredecessorNode* n) {
+    remove(n);
+    while (reachable(n)) snip(n);
+  }
+
+  /// True iff `n` is on the raw chain (marked nodes included).
+  bool reachable(const PredecessorNode* n) const {
+    for (PredecessorNode* it = first_raw(); it != nullptr; it = next_raw(it)) {
+      if (it == n) return true;
+    }
+    return false;
   }
 
   /// First node in the list, including logically removed ones (raw chain
@@ -142,6 +178,99 @@ class NotifyList {
   static NotifyNode* head(const PredecessorNode* p) {
     return p->notify_head.load();
   }
+};
+
+/// Process-wide recycling pool for PredecessorNodes — the first bite at
+/// the ROADMAP's "arena reclamation" item: query announcement nodes are
+/// the highest-churn allocation of the query hot path (one per
+/// predecessor/successor, one per embedded fused query of every Delete),
+/// and unlike update nodes nothing references them once they leave the
+/// P-ALL, so they can be recycled without touching the paper's ABA-free
+/// arena discipline for update nodes and cells.
+///
+/// Lifecycle: acquire() (pop or heap-allocate) → announce/use →
+/// PAll::remove_for_reuse (mark + guaranteed physical detach) →
+/// release() (ebr::retire) → grace period → back on the free list.
+///
+/// Soundness:
+///  * acquire() must run inside an EBR read-side critical section (every
+///    trie operation that queries holds an ebr::Guard). The guard makes
+///    the free-list pop ABA-free: a popped node can only return to the
+///    list through retire + a full grace period, which cannot elapse
+///    while the popping thread's guard is live.
+///  * release() requires the node to be detached from the P-ALL
+///    (remove_for_reuse). Stale *references* from concurrent traversals
+///    are exactly what the grace period waits out; stale *pointer
+///    identity* held beyond it (DelNode::del_query_node) is disarmed by
+///    the generation counter bumped on every reuse.
+///  * Nodes are plain heap allocations owned by the pool, never freed,
+///    and threaded on an immortal all-nodes registry — so the pool is
+///    trie-agnostic (a node may serve many tries over its life), trie
+///    destruction needs no coordination with in-flight retirements, and
+///    leak checkers see every node as reachable. Peak memory is bounded
+///    by the process's high-water mark of concurrent + limbo query
+///    nodes, which recycling keeps at O(threads): the unbounded
+///    per-query arena growth this replaces is gone.
+class QueryNodePool {
+ public:
+  /// Pop a recycled node or allocate a fresh one. Caller must hold an
+  /// ebr::Guard (see class comment).
+  static PredecessorNode* acquire(Key key, QueryDir dir) {
+    uintptr_t h = free_head_.load();
+    while (h != 0) {
+      auto* n = reinterpret_cast<PredecessorNode*>(h);
+      const uintptr_t next = n->pall_next.load();
+      if (free_head_.compare_exchange_weak(h, next)) {
+        // Reset fields individually — deliberately NOT a destroy +
+        // placement-new, which would end and restart the atomic
+        // members' lifetimes with non-atomic stores while a losing
+        // concurrent popper may still be reading the free-list link;
+        // this way `pall_next` is only ever touched through atomic
+        // operations (the upcoming PAll::push overwrites it).
+        n->key = key;
+        n->dir = dir;
+        n->notify_head.store(nullptr);
+        n->announce_position.store(0);
+        n->succ_position.store(0);
+        ++n->gen;
+        return n;
+      }
+    }
+    Stats::count_query_node_alloc();
+    auto* fresh = new PredecessorNode(key, dir);
+    PredecessorNode* head = all_head_.load();
+    do {
+      fresh->pool_all_next = head;
+    } while (!all_head_.compare_exchange_weak(head, fresh));
+    return fresh;
+  }
+
+  /// Hand a detached node to EBR; it rejoins the free list after the
+  /// grace period.
+  static void release(PredecessorNode* n) {
+    ebr::retire(n, [](void* p) {
+      auto* node = static_cast<PredecessorNode*>(p);
+      uintptr_t h = free_head_.load();
+      do {
+        node->pall_next.store(h);
+      } while (!free_head_.compare_exchange_weak(
+          h, reinterpret_cast<uintptr_t>(node)));
+    });
+  }
+
+  /// Nodes ever allocated (not currently live) — test observability.
+  static std::size_t allocated_count() {
+    std::size_t n = 0;
+    for (PredecessorNode* it = all_head_.load(); it != nullptr;
+         it = it->pool_all_next) {
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  static inline std::atomic<uintptr_t> free_head_{0};
+  static inline std::atomic<PredecessorNode*> all_head_{nullptr};
 };
 
 }  // namespace lfbt

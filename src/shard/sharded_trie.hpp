@@ -142,7 +142,12 @@ class ShardedTrie {
     sh.ins_epoch.value.fetch_add(1);
   }
 
-  /// Routed to the owning shard.
+  /// Routed to the owning shard. The inner delete embeds its two
+  /// announcement-side queries as FUSED direction pairs
+  /// (core/lockfree_trie.cpp, query_helper_fused) against the owning
+  /// shard's own P-ALL — sharding and fusion compose multiplicatively
+  /// on the delete constant: 1/S of the announcement traffic, and half
+  /// the announcements within the shard.
   void erase(Key x) {
     assert(x >= 0 && x < u_);
     const int s = shard_of(x);

@@ -6,9 +6,13 @@
 // has observed a later epoch (two epoch advances = grace period).
 //
 // Used by the baseline lock-free structures (skip list, Harris list,
-// copy-on-write universal set) to run with bounded memory. The trie itself
-// uses the per-structure arena instead (see README.md) because the paper's
-// algorithm keeps long-lived references to logically retired nodes.
+// copy-on-write universal set) to run with bounded memory, and by the
+// trie's query-node recycling pool (QueryNodePool, lists/pall.hpp):
+// every trie operation that touches the P-ALL holds a Guard, and retired
+// query announcement nodes rejoin the pool after a grace period. The
+// trie's update nodes and cells still use the per-structure arena
+// instead (see README.md) because the paper's algorithm keeps long-lived
+// references to logically retired nodes.
 #pragma once
 
 #include <atomic>

@@ -1,9 +1,18 @@
-// Cheap per-thread operation-step counters.
+// Cheap per-thread operation-step counters, compile-time toggleable.
 //
 // Used by experiment E5 to validate the paper's amortized step-complexity
 // claims: we count shared-memory reads, CAS attempts, successful CASes and
-// min-writes performed inside trie operations. Counting is thread-local
-// (no synchronisation on the hot path) and aggregated on demand.
+// min-writes performed inside trie operations, plus the query-path
+// accounting E12 relies on (fused-helper invocations and query-node
+// allocations). Counting is thread-local (no synchronisation on the hot
+// path) and aggregated on demand.
+//
+// Toggle: building with -DLFBT_STATS_DISABLED=1 (CMake: -DTRIE_STATS=OFF)
+// compiles every count_* call to nothing, so release benches measure the
+// algorithm rather than a thread-local increment per pointer chase. The
+// StepCounts type and the Stats API stay available in both configurations
+// (aggregate() just reports zeros when disabled); counter-asserting tests
+// gate themselves on Stats::enabled().
 #pragma once
 
 #include <array>
@@ -12,6 +21,12 @@
 
 #include "sync/cacheline.hpp"
 #include "sync/thread_registry.hpp"
+
+#if defined(LFBT_STATS_DISABLED) && LFBT_STATS_DISABLED
+#define LFBT_STATS_ENABLED 0
+#else
+#define LFBT_STATS_ENABLED 1
+#endif
 
 namespace lfbt {
 
@@ -28,6 +43,13 @@ struct StepCounts {
   // other experiments already use.
   uint64_t scan_ops = 0;
   uint64_t scan_keys = 0;
+  // Query-path accounting (E12 / the fused-delete acceptance test):
+  // every query-helper invocation, the subset announced as fused
+  // direction-pairs (QueryDir::kBoth), and PredecessorNode allocations
+  // that missed the recycling pool (helpers minus allocs = reuses).
+  uint64_t query_helpers = 0;
+  uint64_t fused_queries = 0;
+  uint64_t query_node_allocs = 0;
 
   StepCounts& operator+=(const StepCounts& o) noexcept {
     reads += o.reads;
@@ -38,6 +60,9 @@ struct StepCounts {
     trie_restarts += o.trie_restarts;
     scan_ops += o.scan_ops;
     scan_keys += o.scan_keys;
+    query_helpers += o.query_helpers;
+    fused_queries += o.fused_queries;
+    query_node_allocs += o.query_node_allocs;
     return *this;
   }
   StepCounts operator-(const StepCounts& o) const noexcept {
@@ -50,6 +75,9 @@ struct StepCounts {
     r.trie_restarts -= o.trie_restarts;
     r.scan_ops -= o.scan_ops;
     r.scan_keys -= o.scan_keys;
+    r.query_helpers -= o.query_helpers;
+    r.fused_queries -= o.fused_queries;
+    r.query_node_allocs -= o.query_node_allocs;
     return r;
   }
   uint64_t total() const noexcept {
@@ -59,6 +87,11 @@ struct StepCounts {
 
 class Stats {
  public:
+  /// True iff the instrumentation is compiled in. Counter-asserting tests
+  /// GTEST_SKIP on !enabled() so a -DTRIE_STATS=OFF build still passes.
+  static constexpr bool enabled() { return LFBT_STATS_ENABLED != 0; }
+
+#if LFBT_STATS_ENABLED
   static StepCounts& local() { return slots_[ThreadRegistry::id()].value; }
 
   static void count_read(uint64_t n = 1) { local().reads += n; }
@@ -74,6 +107,12 @@ class Stats {
     ++s.scan_ops;
     s.scan_keys += keys;
   }
+  static void count_query_helper(bool fused) {
+    auto& s = local();
+    ++s.query_helpers;
+    if (fused) ++s.fused_queries;
+  }
+  static void count_query_node_alloc() { ++local().query_node_allocs; }
 
   /// Sum over all thread slots. Safe to call while threads run (values are
   /// monotone; the result is a consistent-enough snapshot for reporting).
@@ -90,6 +129,24 @@ class Stats {
 
  private:
   static inline std::array<Padded<StepCounts>, kMaxThreads> slots_{};
+#else
+  // Instrumentation compiled out: every counting call is a no-op the
+  // optimizer erases; readers observe a stable all-zero StepCounts.
+  static StepCounts& local() {
+    static thread_local StepCounts dummy{};
+    dummy = StepCounts{};
+    return dummy;
+  }
+  static void count_read(uint64_t = 1) {}
+  static void count_cas(bool) {}
+  static void count_min_write() {}
+  static void count_help() {}
+  static void count_scan(uint64_t) {}
+  static void count_query_helper(bool) {}
+  static void count_query_node_alloc() {}
+  static StepCounts aggregate() { return StepCounts{}; }
+  static void reset() {}
+#endif
 };
 
 }  // namespace lfbt

@@ -85,15 +85,17 @@ class LinearizabilityChecker {
   }
 
   /// Applies op i to `state`; returns false if the recorded return value
-  /// is impossible in that state.
+  /// is impossible in that state. The key-bit shift is computed only for
+  /// the op kinds whose key is a set element: a successor query's point
+  /// may legitimately be -1 (query the minimum), which must not feed a
+  /// shift (UB the sanitizers flag).
   static bool apply(const RecordedOp& op, uint64_t& state) {
-    const uint64_t bit = uint64_t{1} << op.key;
     switch (op.kind) {
       case OpKind::kInsert:
-        state |= bit;
+        state |= uint64_t{1} << op.key;
         return true;
       case OpKind::kErase:
-        state &= ~bit;
+        state &= ~(uint64_t{1} << op.key);
         return true;
       case OpKind::kContains:
         return op.ret == static_cast<int64_t>((state >> op.key) & 1);

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <thread>
 #include <vector>
+#include "ebr_test_util.hpp"
 
 namespace lfbt {
 namespace {

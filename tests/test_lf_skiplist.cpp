@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "set_test_util.hpp"
+#include "ebr_test_util.hpp"
 
 namespace lfbt {
 namespace {

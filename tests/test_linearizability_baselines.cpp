@@ -9,6 +9,7 @@
 #include "baselines/lf_skiplist.hpp"
 #include "baselines/locked_trie.hpp"
 #include "stress_util.hpp"
+#include "ebr_test_util.hpp"
 
 namespace lfbt {
 namespace {

@@ -114,6 +114,7 @@ INSTANTIATE_TEST_SUITE_P(Universes, LockFreeTrieUniverses,
                          ::testing::Values(1, 2, 3, 8, 17, 64, 1000, 1 << 14));
 
 TEST(LockFreeTrieSeq, SearchIsConstantStepCount) {
+  if (!Stats::enabled()) GTEST_SKIP() << "built with TRIE_STATS=OFF";
   // O(1) worst-case Search: the number of instrumented shared reads per
   // contains() must not grow with the universe or the set size.
   for (Key u : {Key{64}, Key{1} << 12, Key{1} << 18}) {

@@ -21,6 +21,7 @@
 #include "set_test_util.hpp"
 #include "shard/sharded_trie.hpp"
 #include "sync/random.hpp"
+#include "ebr_test_util.hpp"
 
 namespace lfbt {
 namespace {

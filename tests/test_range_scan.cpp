@@ -18,6 +18,7 @@
 #include "baselines/locked_trie.hpp"
 #include "baselines/seq_binary_trie.hpp"
 #include "baselines/versioned_trie.hpp"
+#include "ebr_test_util.hpp"
 #include "query/bidi_trie.hpp"
 #include "query/range_scan.hpp"
 #include "relaxed/relaxed_trie.hpp"

@@ -9,6 +9,7 @@ namespace lfbt {
 namespace {
 
 TEST(Stats, LocalCountersAccumulate) {
+  if (!Stats::enabled()) GTEST_SKIP() << "built with TRIE_STATS=OFF";
   Stats::reset();
   StepCounts before = Stats::local();
   Stats::count_read(3);
@@ -24,7 +25,39 @@ TEST(Stats, LocalCountersAccumulate) {
   EXPECT_EQ(delta.helps, 1u);
 }
 
+TEST(Stats, QueryPathCountersAccumulate) {
+  if (!Stats::enabled()) GTEST_SKIP() << "built with TRIE_STATS=OFF";
+  Stats::reset();
+  StepCounts before = Stats::local();
+  Stats::count_query_helper(/*fused=*/false);
+  Stats::count_query_helper(/*fused=*/true);
+  Stats::count_query_helper(/*fused=*/true);
+  Stats::count_query_node_alloc();
+  StepCounts delta = Stats::local() - before;
+  EXPECT_EQ(delta.query_helpers, 3u);
+  EXPECT_EQ(delta.fused_queries, 2u);
+  EXPECT_EQ(delta.query_node_allocs, 1u);
+}
+
+TEST(Stats, DisabledBuildReportsZeros) {
+  // In a TRIE_STATS=OFF build every counter must read zero even after
+  // counting calls (which compile to nothing); in an ON build this just
+  // checks reset(). Keeps both configurations honest with one test.
+  Stats::reset();
+  Stats::count_read(5);
+  Stats::count_query_helper(true);
+  if (!Stats::enabled()) {
+    EXPECT_EQ(Stats::aggregate().reads, 0u);
+    EXPECT_EQ(Stats::aggregate().query_helpers, 0u);
+    EXPECT_EQ(Stats::local().total(), 0u);
+  } else {
+    EXPECT_EQ(Stats::aggregate().reads, 5u);
+  }
+  Stats::reset();
+}
+
 TEST(Stats, AggregateSumsAcrossThreads) {
+  if (!Stats::enabled()) GTEST_SKIP() << "built with TRIE_STATS=OFF";
   Stats::reset();
   constexpr int kThreads = 8;
   constexpr int kPerThread = 1000;

@@ -8,6 +8,7 @@
 
 #include "set_test_util.hpp"
 #include "stress_util.hpp"
+#include "ebr_test_util.hpp"
 
 namespace lfbt {
 namespace {
