@@ -1,0 +1,107 @@
+// E13: memory under churn — the reclamation subsystem's steady state.
+// Subsystem claim (docs/EXPERIMENTS.md): with src/reclaim/ in place,
+// sustained update-heavy churn against the flat trie and the sharded
+// trie reaches a bounded footprint — after the warm-up ramp, neither the
+// per-structure arena bytes (memory_reserved()) nor the process-wide
+// pooled-class bytes (Stats::memory()) grow window over window, and the
+// pools serve almost every acquisition from their free lists
+// (recycled/acquired -> 1).
+//
+// Unlike E1..E12 this bench SELF-CHECKS its claim: it exits non-zero if
+// the final two soak windows show growth on either gauge, which is what
+// lets CI run a scaled-down copy as a leak smoke test. Rows go to
+// BENCH_E13.json for archiving/diffing like the other experiments.
+#include "bench_util.hpp"
+#include "core/lockfree_trie.hpp"
+#include "shard/sharded_trie.hpp"
+#include "workload/soak.hpp"
+
+namespace lfbt {
+namespace {
+
+bench::JsonRows g_json;
+
+double recycle_ratio() {
+  const MemStats::Snapshot s = Stats::memory();
+  std::uint64_t acquired = 0, recycled = 0;
+  for (const auto& c : s.cls) {
+    acquired += c.acquired;
+    recycled += c.recycled;
+  }
+  return acquired == 0 ? 0.0 : double(recycled) / double(acquired);
+}
+
+template <class Set>
+bool run_soak(const char* structure, int shards, const SoakConfig& cfg) {
+  bench::row(bench::fmt("### %s, %d thread(s), mix %s", structure,
+                        cfg.threads, cfg.mix.name().c_str()));
+  bench::row("| window |     ops | struct KiB |  pool KiB | recycle |  Mops/s |");
+  bench::row("|--------|---------|------------|-----------|---------|---------|");
+
+  std::unique_ptr<Set> set;
+  if constexpr (ShardedOrderedSet<Set>) {
+    set = shards > 0 ? std::make_unique<Set>(cfg.universe, shards)
+                     : std::make_unique<Set>(cfg.universe);
+  } else {
+    set = std::make_unique<Set>(cfg.universe);
+  }
+  const auto samples = churn_soak(*set, cfg);
+  for (const SoakWindowSample& s : samples) {
+    bench::row(bench::fmt("| %6d | %7llu | %10.1f | %9.1f | %6.1f%% | %7.3f |",
+                          s.window, static_cast<unsigned long long>(s.ops),
+                          double(s.structure_bytes) / 1024.0,
+                          double(s.pool_bytes) / 1024.0,
+                          100.0 * recycle_ratio(), s.mops_per_sec));
+    g_json.add(bench::fmt(
+        "{\"structure\":\"%s\",\"shards\":%d,\"threads\":%d,\"mix\":\"%s\","
+        "\"window\":%d,\"ops\":%llu,\"structure_bytes\":%llu,"
+        "\"pool_bytes\":%llu,\"mops_per_sec\":%.4f}",
+        structure, shards, cfg.threads, cfg.mix.name().c_str(), s.window,
+        static_cast<unsigned long long>(s.ops),
+        static_cast<unsigned long long>(s.structure_bytes),
+        static_cast<unsigned long long>(s.pool_bytes), s.mops_per_sec));
+  }
+
+  const bool flat = soak_tail_is_flat(samples);
+  bench::row(bench::fmt("tail (last two windows): %s",
+                        flat ? "flat" : "GROWING — leak"));
+  bench::row("");
+  return flat;
+}
+
+}  // namespace
+}  // namespace lfbt
+
+int main() {
+  using namespace lfbt;
+  bench::header("E13: memory under churn (reclamation steady state)",
+                "recycling query/notify/update nodes and announcement cells "
+                "through EBR bounds the footprint of sustained churn; the "
+                "final two soak windows must not grow");
+
+  SoakConfig cfg;
+  cfg.threads = bench::threads_allowed(4) ? 4 : bench::max_threads();
+  if (cfg.threads <= 0) cfg.threads = 1;
+  cfg.windows = 6;
+  cfg.ops_per_thread_per_window = bench::scaled(150000);
+  cfg.universe = Key{1} << 16;
+  cfg.mix = kUpdateHeavy;
+
+  bool ok = run_soak<LockFreeBinaryTrie>("lockfree-trie", /*shards=*/0, cfg);
+
+  // Queries in the mix keep the P-ALL/notify machinery hot too.
+  SoakConfig qcfg = cfg;
+  qcfg.mix = kBalanced;
+  ok = run_soak<LockFreeBinaryTrie>("lockfree-trie", /*shards=*/0, qcfg) && ok;
+
+  SoakConfig scfg = cfg;
+  scfg.shards = 8;
+  ok = run_soak<ShardedTrie>("sharded-trie", /*shards=*/8, scfg) && ok;
+
+  if (!g_json.write("BENCH_E13.json")) return 1;
+  if (!ok) {
+    std::fprintf(stderr, "E13: memory grew across the final soak windows\n");
+    return 1;
+  }
+  return 0;
+}

@@ -46,7 +46,7 @@ BENCHMARK(BM_AtomicCopy);
 
 void BM_AnnounceListInsertRemove(benchmark::State& state) {
   NodeArena arena;
-  AnnounceList list(arena, kUall, false);
+  AnnounceList list(kUall, false, nullptr);
   // Keep `range` resident announcements so insert cost reflects a list of
   // that length (= point contention in the real structure).
   const int range = static_cast<int>(state.range(0));
@@ -66,7 +66,7 @@ void BM_AnnounceListInsertRemove(benchmark::State& state) {
     k = (k + 2) % (2 * range + 1);
   }
 }
-BENCHMARK(BM_AnnounceListInsertRemove)->Arg(1)->Arg(8)->Arg(64)->Iterations(300000);  // arena-backed: bound memory
+BENCHMARK(BM_AnnounceListInsertRemove)->Arg(1)->Arg(8)->Arg(64)->Iterations(300000);  // update nodes stay arena-backed: bound memory
 
 void BM_PAllPushRemove(benchmark::State& state) {
   NodeArena arena;

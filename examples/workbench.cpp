@@ -1,9 +1,13 @@
 // Workbench: run an ad-hoc workload against any shipped structure from
 // the command line.
 //
-//   workbench [structure] [threads] [ops_per_thread] [log2_universe]
-//             [insert%] [erase%] [contains%] [pred%] [zipf_theta] [shards]
-//             [succ%] [scan%] [scan_span]
+//   workbench [--mem-stats] [structure] [threads] [ops_per_thread]
+//             [log2_universe] [insert%] [erase%] [contains%] [pred%]
+//             [zipf_theta] [shards] [succ%] [scan%] [scan_span]
+//
+//   --mem-stats: append the reclamation picture after the run — one row
+//                per pooled memory class (reclaim/mem_stats.hpp) with
+//                reserved bytes, live objects and the recycle rate.
 //
 //   structure: lockfree-trie | sharded-trie | bidi-trie | relaxed-trie |
 //              skiplist | harris | coarse | rwlock | cow | versioned
@@ -29,11 +33,33 @@
 #include "baselines/versioned_trie.hpp"
 #include "core/lockfree_trie.hpp"
 #include "query/bidi_trie.hpp"
+#include "reclaim/mem_stats.hpp"
 #include "relaxed/relaxed_trie.hpp"
 #include "shard/sharded_trie.hpp"
 #include "workload/harness.hpp"
 
 namespace {
+
+bool g_mem_stats = false;
+
+void print_mem_stats() {
+  const lfbt::MemStats::Snapshot snap = lfbt::Stats::memory();
+  std::printf("\nmemory classes (process-wide pools, reclaim/mem_stats.hpp):\n");
+  std::printf("  %-12s %12s %12s %12s %9s %9s\n", "class", "reserved KiB",
+              "acquired", "in_use", "released", "recycle");
+  for (int i = 0; i < lfbt::kNumMemClasses; ++i) {
+    const auto& c = snap.cls[i];
+    const double recycle =
+        c.acquired == 0 ? 0.0 : 100.0 * double(c.recycled) / double(c.acquired);
+    std::printf("  %-12s %12.1f %12llu %12llu %9llu %8.1f%%\n",
+                lfbt::kMemClassNames[i], double(c.bytes_reserved) / 1024.0,
+                static_cast<unsigned long long>(c.acquired),
+                static_cast<unsigned long long>(c.in_use()),
+                static_cast<unsigned long long>(c.released), recycle);
+  }
+  std::printf("  total reserved   : %.1f KiB\n",
+              double(snap.total_reserved()) / 1024.0);
+}
 
 template <class Set>
 int run(const lfbt::BenchConfig& cfg, const char* name) {
@@ -70,6 +96,7 @@ int run(const lfbt::BenchConfig& cfg, const char* name) {
     std::printf("minwrites/op     : %.3f\n",
                 double(res.steps.min_writes) / double(res.total_ops));
   }
+  if (g_mem_stats) print_mem_stats();
   return 0;
 }
 
@@ -77,6 +104,17 @@ int run(const lfbt::BenchConfig& cfg, const char* name) {
 
 int main(int argc, char** argv) {
   using namespace lfbt;
+  // Strip flags out of argv so the positional parse below stays simple;
+  // --mem-stats may appear anywhere.
+  int n = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--mem-stats") == 0) {
+      g_mem_stats = true;
+    } else {
+      argv[n++] = argv[i];
+    }
+  }
+  argc = n;
   std::string structure = argc > 1 ? argv[1] : "lockfree-trie";
   BenchConfig cfg;
   cfg.threads = argc > 2 ? std::atoi(argv[2]) : 4;

@@ -65,54 +65,35 @@ class VersionedTrie {
   std::size_t rank(Key y) const {
     assert(y >= 0 && y <= u_);
     ebr::Guard guard;
-    const VNode* v = root_.load(std::memory_order_acquire);
-    // y at or beyond the padded key space: every key counts.
-    if (static_cast<uint64_t>(y) >= (uint64_t{1} << b_)) {
-      return v == nullptr ? 0 : v->sum;
-    }
-    std::size_t r = 0;
-    for (uint32_t lvl = b_; v != nullptr && lvl > 0; --lvl) {
-      if (bit_at(y, lvl - 1)) {
-        if (v->left != nullptr) r += v->left->sum;
-        v = v->right;
-      } else {
-        v = v->left;
-      }
-    }
-    return r;
+    return rank_in(root_.load(std::memory_order_acquire), y);
   }
 
   /// i-th smallest key (0-based), or kNoKey if i >= size().
   Key select(std::size_t i) const {
     ebr::Guard guard;
-    const VNode* v = root_.load(std::memory_order_acquire);
-    if (v == nullptr || i >= v->sum) return kNoKey;
-    Key x = 0;
-    for (uint32_t lvl = b_; lvl > 0; --lvl) {
-      const std::size_t left_sum = v->left != nullptr ? v->left->sum : 0;
-      if (i < left_sum) {
-        v = v->left;
-      } else {
-        i -= left_sum;
-        v = v->right;
-        x |= Key{1} << (lvl - 1);
-      }
-    }
-    return x;
+    return select_in(root_.load(std::memory_order_acquire), i);
   }
 
-  /// Largest key < y (linearizes at the snapshot read), or kNoKey.
+  /// Largest key < y, or kNoKey. rank and select must run against the
+  /// SAME version: one root read pins the snapshot both walks use, which
+  /// is what makes the composition linearizable (two independent root
+  /// reads can straddle an update and combine into an answer no single
+  /// state ever had).
   Key predecessor(Key y) const {
     assert(y >= 0 && y <= u_);
-    std::size_t r = rank(y);
-    return r == 0 ? kNoKey : select(r - 1);
+    ebr::Guard guard;
+    const VNode* v = root_.load(std::memory_order_acquire);
+    std::size_t r = rank_in(v, y);
+    return r == 0 ? kNoKey : select_in(v, r - 1);
   }
 
-  /// Smallest key > y, or kNoKey.
+  /// Smallest key > y, or kNoKey. Same single-snapshot discipline.
   Key successor(Key y) const {
     assert(y >= -1 && y < u_);
-    std::size_t r = y < 0 ? 0 : rank(y + 1);
-    return select(r);
+    ebr::Guard guard;
+    const VNode* v = root_.load(std::memory_order_acquire);
+    std::size_t r = y < 0 ? 0 : rank_in(v, y + 1);
+    return select_in(v, r);
   }
 
   /// Ascending keys of S ∩ [lo, hi], at most `limit`, appended to `out`.
@@ -140,6 +121,41 @@ class VersionedTrie {
 
   static bool bit_at(Key x, uint32_t bit) noexcept {
     return (static_cast<uint64_t>(x) >> bit) & 1;
+  }
+
+  /// rank against a pinned version (caller holds the guard).
+  std::size_t rank_in(const VNode* v, Key y) const {
+    // y at or beyond the padded key space: every key counts.
+    if (static_cast<uint64_t>(y) >= (uint64_t{1} << b_)) {
+      return v == nullptr ? 0 : v->sum;
+    }
+    std::size_t r = 0;
+    for (uint32_t lvl = b_; v != nullptr && lvl > 0; --lvl) {
+      if (bit_at(y, lvl - 1)) {
+        if (v->left != nullptr) r += v->left->sum;
+        v = v->right;
+      } else {
+        v = v->left;
+      }
+    }
+    return r;
+  }
+
+  /// select against a pinned version (caller holds the guard).
+  Key select_in(const VNode* v, std::size_t i) const {
+    if (v == nullptr || i >= v->sum) return kNoKey;
+    Key x = 0;
+    for (uint32_t lvl = b_; lvl > 0; --lvl) {
+      const std::size_t left_sum = v->left != nullptr ? v->left->sum : 0;
+      if (i < left_sum) {
+        v = v->left;
+      } else {
+        i -= left_sum;
+        v = v->right;
+        x |= Key{1} << (lvl - 1);
+      }
+    }
+    return x;
   }
 
   /// In-order walk of one immutable version, pruned to the subtrees that

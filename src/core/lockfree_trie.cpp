@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/trie_pools.hpp"
 #include "sync/ebr.hpp"
 
 namespace lfbt {
@@ -23,6 +24,39 @@ void consider(Key& best, Key cand, bool is_pred) {
 template <class Vec>
 void consider_all(Key& best, const Vec& v, bool is_pred) {
   for (const UpdateNode* n : v) consider(best, n->key, is_pred);
+}
+
+/// CAS-fold `k` into a directional aggregate word: keep the largest key
+/// for the predecessor-facing aggregate, the smallest for the
+/// successor-facing one (kNoKey = empty).
+void fold_extremum(std::atomic<Key>& agg, Key k, bool is_pred) {
+  Key w = agg.load();
+  while (w == kNoKey || (is_pred ? w < k : w > k)) {
+    if (agg.compare_exchange_weak(w, k)) return;
+  }
+}
+
+/// One step of the online TL walk over a capped announcement's
+/// suppressed notifications (PredecessorNode::agg_tl): an INS folds its
+/// key as the directional extremum; a DEL whose key equals the current
+/// aggregate applies its TL edge, stepping the aggregate to delPred2 /
+/// delSucc2 — the same move the uncapped fallback's walk would make. A
+/// DEL of any other key is a no-op: it deletes a key the aggregate is
+/// not standing on.
+void fold_tl(std::atomic<Key>& agg, UpdateNode* u, bool is_pred) {
+  if (u->type == NodeType::kIns) {
+    fold_extremum(agg, u->key, is_pred);
+    return;
+  }
+  auto* dn = static_cast<DelNode*>(u);
+  Key w = agg.load();
+  while (w == u->key) {
+    // DEL nodes reach the notify stage only after delPred2/delSucc2 are
+    // written (l.201 + mirror precede l.203); guard anyway.
+    const Key d2 = is_pred ? dn->del_pred2.load() : dn->del_succ2.load();
+    if (d2 == kUnsetPred) return;
+    if (agg.compare_exchange_weak(w, d2)) return;
+  }
 }
 
 /// The threshold / U-ALL extremum of notification `nn` as seen by
@@ -75,12 +109,31 @@ void accept_notification(const PredecessorNode* p, const NotifyNode* nn,
 
 LockFreeBinaryTrie::LockFreeBinaryTrie(Key universe)
     : core_(universe, arena_),
-      uall_(arena_, kUall, /*descending=*/false),
-      ruall_(arena_, kRuall, /*descending=*/true),
-      suall_(arena_, kSuall, /*descending=*/false) {}
+      quarantine_(new CellQuarantine),
+      uall_(kUall, /*descending=*/false, /*quarantine=*/nullptr),
+      ruall_(kRuall, /*descending=*/true, quarantine_),
+      suall_(kSuall, /*descending=*/false, quarantine_) {
+  quarantine_->set_roots(&pall_, ruall_.head(), suall_.head());
+}
+
+LockFreeBinaryTrie::~LockFreeBinaryTrie() {
+  core_.drain_resident_for_destruction();
+  // Cells still chained belong to resident nodes' canonical announcements;
+  // quiescence makes the raw walks safe.
+  uall_.release_all_cells_for_destruction();
+  ruall_.release_all_cells_for_destruction();
+  suall_.release_all_cells_for_destruction();
+  // Last: the quarantine flushes what it holds and severs the root
+  // pointers into this object; it deletes itself once the final in-flight
+  // stage-1 deleter (possibly on another thread's EBR limbo) lands.
+  quarantine_->detach_and_drain();
+}
 
 bool LockFreeBinaryTrie::contains(Key x) {
   assert(x >= 0 && x < core_.universe());
+  // The guard is new with update-node pooling: latest-list nodes may now
+  // be recycled, and find_latest dereferences them.
+  ebr::Guard guard;
   return core_.find_latest(x)->type == NodeType::kIns;
 }
 
@@ -126,7 +179,7 @@ void LockFreeBinaryTrie::insert(Key x) {
   ebr::Guard guard;
   UpdateNode* d_node = core_.find_latest(x);
   if (d_node->type != NodeType::kDel) return;  // l.164: x already in S
-  auto* i_node = arena_.create<UpdateNode>(x, NodeType::kIns);
+  UpdateNode* i_node = InsNodePool::acquire(x);
   i_node->latest_next.store(d_node);  // l.167
   // l.168: help stop the Delete the previous Insert targeted (ignore ⊥s).
   if (UpdateNode* ln = d_node->latest_next.load()) {
@@ -137,6 +190,7 @@ void LockFreeBinaryTrie::insert(Key x) {
   if (!core_.cas_latest(x, d_node, i_node)) {
     size_.fetch_sub(1);                   // lost the claim; x not inserted
     help_activate(core_.read_latest(x));  // l.171
+    retire_unpublished(i_node);           // never entered a shared structure
     return;
   }
   announce(i_node);                                // l.173
@@ -146,6 +200,12 @@ void LockFreeBinaryTrie::insert(Key x) {
   notify_query_ops(i_node);                        // l.177
   i_node->completed.store(true);                   // l.178
   retract(i_node);                                 // l.179
+  // Reclamation triggers: the DEL node this insert superseded, and
+  // (if a newer delete already claimed the latest slot) this op's own
+  // node — the superseding-op trigger of that delete may have run before
+  // `completed` was set, so the self-check closes the gap.
+  try_retire_update(d_node);
+  try_retire_update(i_node);
 }
 
 // Paper l.181–206 with the embedded queries FUSED: one direction-pair
@@ -161,7 +221,7 @@ void LockFreeBinaryTrie::erase(Key x) {
   UpdateNode* i_node = core_.find_latest(x);
   if (i_node->type != NodeType::kIns) return;  // l.183: x not in S
   QueryAnswer q1 = query_helper_fused(x, QueryDir::kBoth);  // l.184 + mirror
-  auto* d_node = arena_.create<DelNode>(x, core_.b());
+  DelNode* d_node = DelNodePool::acquire(x, core_.b());
   d_node->latest_next.store(i_node);     // l.187
   d_node->del_pred = q1.pred;            // l.188
   d_node->del_succ = q1.succ;            // mirror of l.188
@@ -172,6 +232,7 @@ void LockFreeBinaryTrie::erase(Key x) {
   if (!core_.cas_latest(x, i_node, d_node)) {
     help_activate(core_.read_latest(x));  // l.193
     retire_query_node(q1.node);           // l.194
+    retire_unpublished(d_node);           // never entered a shared structure
     return;
   }
   announce(d_node);                               // l.196
@@ -190,6 +251,9 @@ void LockFreeBinaryTrie::erase(Key x) {
   retract(d_node);                                // l.205
   retire_query_node(q1.node);                     // l.206
   retire_query_node(q2.node);
+  // Reclamation triggers (see insert()).
+  try_retire_update(i_node);
+  try_retire_update(d_node);
 }
 
 // The PR 3 delete, preserved as the E12 baseline: four single-direction
@@ -204,7 +268,7 @@ void LockFreeBinaryTrie::erase_unfused_for_bench(Key x) {
   if (i_node->type != NodeType::kIns) return;
   QueryAnswer p1 = query_helper_fused(x, QueryDir::kPred);
   QueryAnswer s1 = query_helper_fused(x, QueryDir::kSucc);
-  auto* d_node = arena_.create<DelNode>(x, core_.b());
+  DelNode* d_node = DelNodePool::acquire(x, core_.b());
   d_node->latest_next.store(i_node);
   d_node->del_pred = p1.pred;
   d_node->del_succ = s1.succ;
@@ -216,6 +280,7 @@ void LockFreeBinaryTrie::erase_unfused_for_bench(Key x) {
     help_activate(core_.read_latest(x));
     retire_query_node(p1.node);
     retire_query_node(s1.node);
+    retire_unpublished(d_node);
     return;
   }
   announce(d_node);
@@ -235,6 +300,8 @@ void LockFreeBinaryTrie::erase_unfused_for_bench(Key x) {
   retire_query_node(s1.node);
   retire_query_node(p2.node);
   retire_query_node(s2.node);
+  try_retire_update(i_node);
+  try_retire_update(d_node);
 }
 
 // Paper l.137–145 and its successor mirror, fused into ONE pass over the
@@ -277,14 +344,50 @@ void LockFreeBinaryTrie::notify_query_ops(UpdateNode* u) {
   for (PredecessorNode* p = pall_.first_live(); p != nullptr;
        p = PAll::next_live(p)) {
     if (!core_.first_activated(u)) return;  // l.149
-    auto* n = arena_.create<NotifyNode>();
+    if (p->notify_len.load(std::memory_order_acquire) >=
+        PredecessorNode::kNotifyCap) {
+      // Cap reached — this announcement belongs to a stalled (or
+      // extraordinarily slow) operation. Fold the notification into the
+      // per-direction aggregates instead of growing the list: no notify
+      // node, no pins, bounded footprint. The first_activated check
+      // above plays the role of the push path's l.160 revalidation
+      // (same race window: a supersession between check and CAS).
+      if (p->dir != QueryDir::kSucc) {
+        if (u->type == NodeType::kIns) {
+          fold_extremum(p->agg_present[0], u->key, true);
+        }
+        fold_tl(p->agg_tl[0], u, true);
+      }
+      if (p->dir != QueryDir::kPred) {
+        if (u->type == NodeType::kIns) {
+          fold_extremum(p->agg_present[1], u->key, false);
+        }
+        fold_tl(p->agg_tl[1], u, false);
+      }
+      continue;
+    }
+    NotifyNode* n = NotifyNodePool::acquire();
+    // Pin discipline: each non-null update-node reference of a published
+    // notify node holds one pin, dropped when the target announcement is
+    // drained (retire_query_announcement). A pin failure means the node
+    // was just retired, i.e. superseded AND completed:
+    //  * for `u` itself that implies the push validation below would
+    //    fail — bail out exactly as the paper's l.160 does;
+    //  * for an extremum candidate the superseding delete activated
+    //    inside the target query's live window, giving the query a
+    //    linearization point at which the candidate's key is absent, so
+    //    omitting it is sound (docs/DESIGN.md, Reclamation).
+    if (!u->try_pin()) {
+      NotifyNodePool::release(n);
+      return;
+    }
     n->key = u->key;
     n->update_node = u;
     if (p->dir != QueryDir::kSucc) {  // predecessor side (kPred / kBoth)
       // l.153: INS node in the U-ALL snapshot with largest key < p->key.
       for (std::size_t i = ins.size(); i-- > 0;) {
         if (ins[i]->key < p->key) {
-          n->update_node_ext = ins[i];
+          if (ins[i]->try_pin()) n->update_node_ext = ins[i];
           break;
         }
       }
@@ -297,7 +400,7 @@ void LockFreeBinaryTrie::notify_query_ops(UpdateNode* u) {
       UpdateNode* ext = nullptr;
       for (UpdateNode* cand : ins) {
         if (cand->key > p->key) {
-          ext = cand;
+          if (cand->try_pin()) ext = cand;
           break;
         }
       }
@@ -313,7 +416,15 @@ void LockFreeBinaryTrie::notify_query_ops(UpdateNode* u) {
     }
     // l.156–161: publish, revalidating first-activation before the CAS.
     bool sent = NotifyList::push(p, n, [&] { return core_.first_activated(u); });
-    if (!sent) return;
+    if (!sent) {
+      unpin_update(u);  // abandoned: give the pins and the node back
+      if (n->update_node_ext != nullptr) unpin_update(n->update_node_ext);
+      if (n->update_node_ext_succ != nullptr)
+        unpin_update(n->update_node_ext_succ);
+      NotifyNodePool::release(n);
+      return;
+    }
+    p->notify_len.fetch_add(1, std::memory_order_release);
   }
 }
 
@@ -368,44 +479,79 @@ LockFreeBinaryTrie::QueryAnswer LockFreeBinaryTrie::query_helper_fused(
   Stats::count_query_helper(dir == QueryDir::kBoth);
 
   QueryScratch& sc = QueryScratch::get();
-  sc.reset_query();
+  PredecessorNode* p_node = nullptr;
+  Key r0_pred = kNoKey;
+  Key r0_succ = kNoKey;
 
-  PredecessorNode* p_node = QueryNodePool::acquire(y, dir);
-  if (want_pred) {
-    p_node->position(QueryDir::kPred)
-        .store(AnnounceList::pack(ruall_.head()));
+  // The helper body runs in a valve loop: if our OWN announcement's
+  // notify list hit the cap (kNotifyCap completed updates landed inside
+  // this one helper's window — pathological contention or preemption),
+  // notifications were folded into lossy aggregates, so retire the
+  // announcement and run the helper again rather than answer from them.
+  // A bounded number of retries keeps the common case exact; the final
+  // attempt, if still capped, answers from the aggregates (sound — see
+  // direction_answer / bottom_fallback — at the cost of the residual
+  // precision loss documented in docs/DESIGN.md, "Reclamation").
+  constexpr int kMaxCapRetries = 3;
+  for (int attempt = 0;; ++attempt) {
+    sc.reset_query();
+
+    p_node = QueryNodePool::acquire(y, dir);
+    if (want_pred) {
+      p_node->position(QueryDir::kPred)
+          .store(AnnounceList::pack(ruall_.head()));
+    }
+    if (want_succ) {
+      p_node->position(QueryDir::kSucc)
+          .store(AnnounceList::pack(suall_.head()));
+    }
+    pall_.push(p_node);  // l.209 — the ONE announce point for all directions
+
+    // l.210–214: snapshot the P-ALL suffix. Kept newest-first (raw chain
+    // order); the fallback's oldest-first scans iterate it backwards, which
+    // drops the per-query reverse the old path paid. Q deliberately
+    // contains every announcement kind; the fallback matches only the
+    // node a Delete embedded (plus its generation).
+    for (PredecessorNode* it = PAll::next_raw(p_node); it != nullptr;
+         it = PAll::next_raw(it)) {
+      sc.q.push_back(it);
+    }
+
+    if (want_pred) traverse_position_list(p_node, true, sc.side[0]);  // l.215
+    if (want_succ) traverse_position_list(p_node, false, sc.side[1]);
+    r0_pred = want_pred ? core_.relaxed_predecessor(y) : kNoKey;  // l.216
+    r0_succ = want_succ ? core_.relaxed_successor(y) : kNoKey;
+    traverse_uall_fused(y, want_pred ? &sc.side[0].uall : nullptr,  // l.217
+                        want_succ ? &sc.side[1].uall : nullptr);
+
+    // l.218–227 and its mirror in ONE pass: each notification is offered
+    // to every direction whose window contains its key, under that
+    // direction's threshold/extremum (notify_threshold_for). The head
+    // snapshot (Cnotify) is shared — both directions see the same prefix.
+    for (NotifyNode* nn = NotifyList::head(p_node); nn != nullptr;
+         nn = nn->next.load()) {
+      if (want_pred && nn->key < y) accept_notification(p_node, nn, true, sc.side[0]);
+      if (want_succ && nn->key > y) accept_notification(p_node, nn, false, sc.side[1]);
+    }
+
+    if (!p_node->notify_capped() || attempt >= kMaxCapRetries) break;
+    retire_query_node(p_node);
   }
-  if (want_succ) {
-    p_node->position(QueryDir::kSucc)
-        .store(AnnounceList::pack(suall_.head()));
-  }
-  pall_.push(p_node);  // l.209 — the ONE announce point for all directions
 
-  // l.210–214: snapshot the P-ALL suffix. Kept newest-first (raw chain
-  // order); the fallback's oldest-first scans iterate it backwards, which
-  // drops the per-query reverse the old path paid. Q deliberately
-  // contains every announcement kind; the fallback matches only the
-  // node a Delete embedded (plus its generation).
-  for (PredecessorNode* it = PAll::next_raw(p_node); it != nullptr;
-       it = PAll::next_raw(it)) {
-    sc.q.push_back(it);
-  }
-
-  if (want_pred) traverse_position_list(p_node, true, sc.side[0]);  // l.215
-  if (want_succ) traverse_position_list(p_node, false, sc.side[1]);
-  Key r0_pred = want_pred ? core_.relaxed_predecessor(y) : kNoKey;  // l.216
-  Key r0_succ = want_succ ? core_.relaxed_successor(y) : kNoKey;
-  traverse_uall_fused(y, want_pred ? &sc.side[0].uall : nullptr,    // l.217
-                      want_succ ? &sc.side[1].uall : nullptr);
-
-  // l.218–227 and its mirror in ONE pass: each notification is offered
-  // to every direction whose window contains its key, under that
-  // direction's threshold/extremum (notify_threshold_for). The head
-  // snapshot (Cnotify) is shared — both directions see the same prefix.
-  for (NotifyNode* nn = NotifyList::head(p_node); nn != nullptr;
-       nn = nn->next) {
-    if (want_pred && nn->key < y) accept_notification(p_node, nn, true, sc.side[0]);
-    if (want_succ && nn->key > y) accept_notification(p_node, nn, false, sc.side[1]);
+  if (p_node->notify_capped()) {
+    // Retries exhausted: recover the suppressed in-window extremum as an
+    // extra r1 candidate per direction. agg_present keys were folded by
+    // first-activated (hence then-present) INS updates inside this
+    // announcement's window, which is exactly this helper's window — a
+    // valid linearizable candidate once clamped to the window.
+    if (want_pred) {
+      const Key a = p_node->agg_present[0].load();
+      if (a != kNoKey && a < y) sc.side[0].notify_agg = a;
+    }
+    if (want_succ) {
+      const Key a = p_node->agg_present[1].load();
+      if (a != kNoKey && a > y) sc.side[1].notify_agg = a;
+    }
   }
 
   QueryAnswer out;
@@ -436,6 +582,9 @@ Key LockFreeBinaryTrie::direction_answer(Key y, bool is_pred,
   for (UpdateNode* n : ds.d_notify) {
     if (!ds.d_pos_set.contains(n)) consider(r1, n->key, is_pred);
   }
+  // Capped own announcement (valve retries exhausted): the suppressed
+  // in-window INS extremum joins the candidate set.
+  consider(r1, ds.notify_agg, is_pred);
 
   // l.230–251: the trie traversal was blocked by concurrent updates.
   if (r0 == kBottom) {
@@ -485,7 +634,7 @@ Key LockFreeBinaryTrie::bottom_fallback(Key y, bool is_pred,
   sc.l_seen.clear();
   if (p_prime != nullptr) {
     for (NotifyNode* nn = NotifyList::head(p_prime); nn != nullptr;
-         nn = nn->next) {
+         nn = nn->next.load()) {
       if (in_window(nn->key) && sc.l_seen.insert(nn->update_node)) {
         sc.l1.push_back(nn->update_node);
       }
@@ -499,7 +648,7 @@ Key LockFreeBinaryTrie::bottom_fallback(Key y, bool is_pred,
   sc.l2.clear();
   sc.l_seen.clear();
   for (NotifyNode* nn = NotifyList::head(p_node); nn != nullptr;
-       nn = nn->next) {
+       nn = nn->next.load()) {
     if (!in_window(nn->key)) continue;
     sc.l1.remove_value(nn->update_node);
     const Key thr = notify_threshold_for(p_node, nn, is_pred);
@@ -562,6 +711,22 @@ Key LockFreeBinaryTrie::bottom_fallback(Key y, bool is_pred,
   for (UpdateNode* n : sc.l_filtered) {
     if (n->type == NodeType::kIns) sc.x_set.push_back(n->key);
   }
+  // Capped announcements contribute their online-TL aggregate as an
+  // extra seed: for a capped p' (typically a crashed delete's embedded
+  // announcement, whose list every later update folds into) the
+  // aggregate replays exactly the INS-extremum + DEL-edge walk the
+  // suppressed suffix of L1 would have produced; for our own capped
+  // announcement it covers the suppressed part of L2. The walk below
+  // still applies the known edges to the seed.
+  const int agg_side = is_pred ? 0 : 1;
+  if (p_prime != nullptr && p_prime->notify_capped()) {
+    const Key a = p_prime->agg_tl[agg_side].load();
+    if (a != kNoKey && in_window(a)) sc.x_set.push_back(a);
+  }
+  if (p_node->notify_capped()) {
+    const Key a = p_node->agg_tl[agg_side].load();
+    if (a != kNoKey && in_window(a)) sc.x_set.push_back(a);
+  }
 
   // l.249–251: R = sinks reachable from X (chain walks; edges are
   // monotone, so a walk takes at most one step per edge), minus the keys
@@ -582,14 +747,16 @@ Key LockFreeBinaryTrie::bottom_fallback(Key y, bool is_pred,
 }
 
 bool LockFreeBinaryTrie::stall_insert_for_test(Key x) {
+  ebr::Guard guard;
   UpdateNode* d_node = core_.find_latest(x);
   if (d_node->type != NodeType::kDel) return false;
-  auto* i_node = arena_.create<UpdateNode>(x, NodeType::kIns);
+  UpdateNode* i_node = InsNodePool::acquire(x);
   i_node->latest_next.store(d_node);
   d_node->latest_next.store(nullptr);
   size_.fetch_add(1);
   if (!core_.cas_latest(x, d_node, i_node)) {
     size_.fetch_sub(1);
+    retire_unpublished(i_node);
     return false;
   }
   announce(i_node);
@@ -602,7 +769,7 @@ bool LockFreeBinaryTrie::stall_delete_for_test(Key x) {
   UpdateNode* i_node = core_.find_latest(x);
   if (i_node->type != NodeType::kIns) return false;
   QueryAnswer q1 = query_helper_fused(x, QueryDir::kBoth);
-  auto* d_node = arena_.create<DelNode>(x, core_.b());
+  DelNode* d_node = DelNodePool::acquire(x, core_.b());
   d_node->latest_next.store(i_node);
   d_node->del_pred = q1.pred;
   d_node->del_succ = q1.succ;
@@ -612,6 +779,7 @@ bool LockFreeBinaryTrie::stall_delete_for_test(Key x) {
   notify_query_ops(i_node);
   if (!core_.cas_latest(x, i_node, d_node)) {
     retire_query_node(q1.node);
+    retire_unpublished(d_node);
     return false;
   }
   announce(d_node);

@@ -76,6 +76,13 @@ class LockFreeBinaryTrie {
  public:
   explicit LockFreeBinaryTrie(Key universe);
 
+  /// Requires quiescence (no concurrent operations), like any container
+  /// destructor. Hands every pooled update node still resident in the
+  /// trie back to the process-wide pools, so create/destroy churn
+  /// reaches a steady-state footprint; only nodes kept alive by stalled
+  /// test announcements stay out (bounded by the injected crash count).
+  ~LockFreeBinaryTrie();
+
   Key universe() const noexcept { return core_.universe(); }
 
   /// Paper Search (l.121–124). O(1), linearizable.
@@ -184,14 +191,33 @@ class LockFreeBinaryTrie {
                       QueryScratch& sc, DirScratch& ds);   // l.230–251
 
   /// Detach a finished query announcement from the P-ALL and hand it to
-  /// the recycling pool (EBR-deferred; see QueryNodePool).
+  /// the recycling pool. The drain of its notify chain (and of the pins
+  /// those notifications hold on update nodes) happens after the EBR
+  /// grace period — see retire_query_announcement (core/trie_pools.hpp).
   void retire_query_node(PredecessorNode* p) {
     pall_.remove_for_reuse(p);  // l.255/206: retract the announcement
-    QueryNodePool::release(p);
+    retire_query_announcement(p);
+  }
+
+  /// Reclamation trigger: retire `u` once it is provably superseded
+  /// (not first-activated) and its operation completed. Called by the
+  /// superseding op AND by u's own op at its end — between them every
+  /// interleaving is covered, and UpdateNode's state CAS dedups.
+  void try_retire_update(UpdateNode* u) {
+    if (u == nullptr || !u->pooled() || !u->completed.load()) return;
+    if (core_.first_activated(u)) return;
+    retire_update(u);
   }
 
   NodeArena arena_;
   TrieCore core_;
+  /// Reclamation staging for retired RU-ALL/SU-ALL cells (their pointers
+  /// escape into position words, so they need the pinned-set scavenge of
+  /// reclaim/cell_quarantine.hpp). Owned, but deliberately not a member:
+  /// stage-1 retirements may outlive the trie in other threads' EBR
+  /// limbo, so it is refcounted and self-deleting — the destructor only
+  /// detaches. Declared before the lists, which capture the pointer.
+  CellQuarantine* quarantine_;
   AnnounceList uall_;
   AnnounceList ruall_;
   AnnounceList suall_;  // ascending mirror of the RU-ALL (successor ops)

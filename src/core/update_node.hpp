@@ -32,7 +32,24 @@ struct AnnCell {
   Key key = 0;
   UpdateNode* node = nullptr;
   std::atomic<uintptr_t> next{0};
+  /// Reclamation link (reclaim/cell_quarantine.hpp): parks the owning
+  /// CellQuarantine* between retirement and admission, then serves as the
+  /// quarantine / free-list link. Deliberately separate from `next`, which
+  /// must stay frozen after removal so stale traversals and the
+  /// scavenger's pinned-set closure can keep walking retired chains.
+  std::atomic<AnnCell*> retire_next{nullptr};
 };
+
+/// Tombstone installed in UpdateNode::ann_cell[slot] when the announcement
+/// is retracted. The install CAS claims the retraction exactly once (the
+/// owner and any helper may both retract, l.135), so only one of them
+/// marks, unlinks and retires the cell — a second retract against a cell
+/// that may already be recycled must never touch it. Traversals' canonicity
+/// checks (`cell->node->ann_cell[slot] == cell`) reject the tombstone for
+/// free; visibility of the announcement now ends at this CAS rather than at
+/// the removal mark, which only strengthens the U-ALL-before-RU-ALL
+/// removal-ordering argument (Lemma 5.19).
+inline AnnCell* const kCellRetracted = reinterpret_cast<AnnCell*>(uintptr_t(1));
 
 /// Announcement-list slots of UpdateNode::ann_cell. kUall/kRuall are the
 /// paper's lists; kSuall is the ascending successor-direction mirror of
@@ -53,11 +70,27 @@ enum class QueryDir : uint8_t { kPred = 0, kSucc = 1, kBoth = 2 };
 
 /// Paper lines 91–104. INS and DEL nodes share a base; DEL-only fields
 /// live in DelNode.
+///
+/// Reclamation (reclaim/node_pool.hpp, core/trie_pools.hpp): pooled
+/// update nodes carry a packed lifecycle word `reclaim` —
+/// bits [1:0] state (live → retired → released), bit 2 "pooled" (storage
+/// owned by a RecyclePool rather than an arena), bits [63:3] a pin count.
+/// A pin is a reference that outlives EBR guards: one per dNodePtr slot
+/// the node resides in, one per notify node referencing it, one for
+/// being some INS node's `target`. Retirement (supersession +
+/// completion) forbids new pins;
+/// release fires when a retired node's last pin drops, and always routes
+/// through ebr::retire so guarded readers stay safe. Arena-allocated
+/// nodes (dummies, the relaxed trie's) run the same state machine with
+/// the pooled bit clear, making every transition a harmless no-op.
 struct UpdateNode {
   UpdateNode(Key k, NodeType t) : key(k), type(t) {}
 
-  const Key key;
-  const NodeType type;
+  /// Immutable for the lifetime of each op; non-const only so the node
+  /// pools can reset recycled nodes field-by-field (same reasoning as
+  /// PredecessorNode::key below).
+  Key key;
+  NodeType type;
 
   /// Inactive(0) -> Active(1); an S-modifying op linearizes at this flip.
   std::atomic<uint8_t> status{0};
@@ -85,6 +118,72 @@ struct UpdateNode {
 
   static constexpr uint8_t kInactive = 0;
   static constexpr uint8_t kActive = 1;
+
+  // --- Reclamation word (see the class comment). ---
+
+  static constexpr uint64_t kStateLive = 0;
+  static constexpr uint64_t kStateRetired = 1;
+  static constexpr uint64_t kStateReleased = 2;
+  static constexpr uint64_t kStateMask = 3;
+  static constexpr uint64_t kPooledBit = 4;
+  static constexpr uint64_t kPinUnit = 8;
+
+  std::atomic<uint64_t> reclaim{0};  // live, unpooled, zero pins
+
+  bool pooled() const noexcept {
+    return (reclaim.load(std::memory_order_relaxed) & kPooledBit) != 0;
+  }
+
+  /// Take a pin; fails (without side effect) once the node is retired.
+  bool try_pin() noexcept {
+    uint64_t w = reclaim.load();
+    for (;;) {
+      if ((w & kStateMask) != kStateLive) return false;
+      if (reclaim.compare_exchange_weak(w, w + kPinUnit)) return true;
+    }
+  }
+
+  /// Drop a pin. Returns true iff this call transitioned the node to
+  /// Released (retired, last pin gone) — the caller then owns the free.
+  bool unpin() noexcept {
+    return claim_release(reclaim.fetch_sub(kPinUnit) - kPinUnit);
+  }
+
+  /// Live -> Retired, exactly-once; returns false if already retired by
+  /// a racing trigger (supersession is observed by both the superseding
+  /// op and the node's own op, so two retire calls are the normal case).
+  bool mark_retired() noexcept {
+    uint64_t w = reclaim.load();
+    for (;;) {
+      if ((w & kStateMask) != kStateLive) return false;
+      if (reclaim.compare_exchange_weak(w, (w & ~kStateMask) | kStateRetired))
+        return true;
+    }
+  }
+
+  /// Retired + zero pins -> Released; returns true iff this call won the
+  /// transition (and with it the right to free the storage).
+  bool try_claim_release() noexcept { return claim_release(reclaim.load()); }
+
+  /// Destruction-time (quiescent tries only) release: wins exactly once
+  /// regardless of state or outstanding pins.
+  bool force_release() noexcept {
+    uint64_t w = reclaim.load();
+    for (;;) {
+      if ((w & kStateMask) == kStateReleased) return false;
+      if (reclaim.compare_exchange_weak(w, (w & ~kStateMask) | kStateReleased))
+        return true;
+    }
+  }
+
+ private:
+  bool claim_release(uint64_t w) noexcept {
+    while ((w & kStateMask) == kStateRetired && (w / kPinUnit) == 0) {
+      if (reclaim.compare_exchange_weak(w, (w & ~kStateMask) | kStateReleased))
+        return true;
+    }
+    return false;
+  }
 };
 
 struct DelNode : UpdateNode {
@@ -167,7 +266,14 @@ struct NotifyNode {
   /// successor acceptance test, so an unwritten mirror is inert.
   UpdateNode* update_node_ext_succ = nullptr;
   Key notify_threshold_succ = kNegInf;
-  NotifyNode* next = nullptr;
+  /// List link while published; free-list link while the node rests in
+  /// NotifyNodePool (which is why it is atomic: a losing free-list popper
+  /// may read it while the pool's reset overwrites it).
+  std::atomic<NotifyNode*> next{nullptr};
+
+  /// Each non-null update-node reference holds one pin on its referent
+  /// (UpdateNode::try_pin), dropped when the owning announcement is
+  /// retired and its notify chain drained (core/trie_pools.hpp).
 };
 
 /// Announcement of a Predecessor — or, with dir == kSucc, its mirror
@@ -213,6 +319,37 @@ struct PredecessorNode {
                : announce_position;
   }
 
+  // --- Stalled-announcement notify cap (core/lockfree_trie.cpp,
+  // notify_query_ops). Once `notify_len` reaches kNotifyCap, notifiers
+  // stop allocating notify nodes for this announcement and instead fold
+  // their notification into two per-direction aggregate words, bounding
+  // the footprint an announcement that is never retired (a crashed
+  // operation) can pin. Index 0 is the predecessor-facing aggregate,
+  // index 1 the successor-facing one.
+  //
+  //  * agg_present[s]: directional extremum (max below / min above) of
+  //    the keys of suppressed INS notifications. A first-activated INS
+  //    folded here was present at fold time, so for the announcement's
+  //    own live window it is a valid r1 candidate (the consumer clamps
+  //    it to its window).
+  //  * agg_tl[s]: an online run of the ⊥-fallback's TL walk over the
+  //    suppressed suffix — INS keys fold as the directional extremum,
+  //    and a DEL whose key equals the current aggregate steps it to the
+  //    delete's delPred2/delSucc2, exactly the edge the uncapped list
+  //    would have contributed. Consumed as an extra X seed by
+  //    bottom_fallback when this (or the matched embedded) announcement
+  //    is capped.
+  //
+  // See docs/DESIGN.md, "Reclamation" for the validity argument and the
+  // residual information-loss adversary this trades for boundedness.
+  static constexpr uint32_t kNotifyCap = 512;
+  std::atomic<uint32_t> notify_len{0};
+  std::atomic<Key> agg_present[2] = {kNoKey, kNoKey};
+  std::atomic<Key> agg_tl[2] = {kNoKey, kNoKey};
+  bool notify_capped() const noexcept {
+    return notify_len.load(std::memory_order_acquire) >= kNotifyCap;
+  }
+
   /// Intrusive hook for the P-ALL (mark in bit 0: removed). Doubles as
   /// the free-list link while the node rests in QueryNodePool.
   std::atomic<uintptr_t> pall_next{0};
@@ -224,11 +361,6 @@ struct PredecessorNode {
   /// references (DelNode::del_query_node) must also match the recorded
   /// generation.
   uint64_t gen = 0;
-
-  /// Immortal all-nodes registry link (keeps every pool node reachable,
-  /// so leak checkers see quiescent pool memory as live, and gives the
-  /// pool its bookkeeping chain). Set once at first allocation.
-  PredecessorNode* pool_all_next = nullptr;
 };
 
 }  // namespace lfbt

@@ -19,21 +19,31 @@
 // Traversals only accept a cell c if node->ann_cell[slot] == c, so a
 // spurious (losing) cell is never observed as an announcement. This keeps
 // the paper's crucial ordering invariant — visible U-ALL presence is
-// bracketed by the claim CAS and the removal mark, which the Insert/Delete
-// code orders U-ALL-before-RU-ALL on insertion and on removal (Lemma 5.19
-// depends on removal happening in the U-ALL first).
+// bracketed by the claim CAS and the retraction's tombstone CAS, which the
+// Insert/Delete code orders U-ALL-before-RU-ALL on insertion and on
+// removal (Lemma 5.19 depends on removal happening in the U-ALL first).
 //
 // Removal marks use bit 1 of `next` (bit 0 is reserved by AtomicCopyWord,
 // which copies RU-ALL/SU-ALL next words into query announcements).
 //
-// Memory: cells come from the owning trie's arena and are never reused,
-// so CAS expected-value comparisons are ABA-free.
+// Memory: cells come from the process-wide AnnCellPool. Retraction claims
+// the cell exactly once by CASing ann_cell[slot] to kCellRetracted (owner
+// and helper may both retract; only the claim winner marks, unlinks and
+// retires). Retired U-ALL cells go straight through one EBR grace period;
+// RU-ALL/SU-ALL cells — whose pointers escape into announcement position
+// words — route through the owning trie's CellQuarantine, which releases
+// them only once they are unreachable from every position word and list
+// chain (the full argument lives in reclaim/cell_quarantine.hpp). CAS
+// expected-value comparisons stay ABA-free because a cell re-enters
+// circulation only after a grace period no in-flight comparison's guard
+// can span.
 #pragma once
 
 #include <cassert>
 
 #include "core/update_node.hpp"
-#include "sync/arena.hpp"
+#include "reclaim/cell_quarantine.hpp"
+#include "sync/ebr.hpp"
 #include "sync/stats.hpp"
 
 namespace lfbt {
@@ -50,8 +60,11 @@ class AnnounceList {
 
   /// `slot` selects which UpdateNode::ann_cell entry this list claims
   /// (kUall, kRuall or kSuall); `descending` picks the sort order.
-  AnnounceList(NodeArena& arena, int slot, bool descending)
-      : arena_(&arena), slot_(slot), descending_(descending) {
+  /// `quarantine` is required for lists whose cell pointers are copied
+  /// into position words (RU-ALL / SU-ALL); the U-ALL passes nullptr and
+  /// retired cells take the direct one-grace-period path.
+  AnnounceList(int slot, bool descending, CellQuarantine* quarantine)
+      : quarantine_(quarantine), slot_(slot), descending_(descending) {
     head_.key = descending ? kPosInf : kNegInf;
     tail_.key = descending ? kNegInf : kPosInf;
     head_.next.store(pack(&tail_));
@@ -61,29 +74,43 @@ class AnnounceList {
   AnnounceList& operator=(const AnnounceList&) = delete;
 
   /// Announce `n`. Safe to call from any number of helpers concurrently;
-  /// after return, n->ann_cell[slot] is non-null (the canonical cell).
+  /// after return, n->ann_cell[slot] is non-null (the canonical cell, or
+  /// the retraction tombstone if the announcement already came and went).
   void insert(UpdateNode* n) {
+    // Own guard (reentrant under the trie's op guard): chain walks must
+    // be EBR-protected now that cells recycle, including unguarded
+    // callers (unit tests, benches).
+    ebr::Guard guard;
     if (n->ann_cell[slot_].load() != nullptr) return;  // already announced
-    auto* cell = arena_->create<AnnCell>();
-    cell->key = n->key;
-    cell->node = n;
+    AnnCell* cell = AnnCellPool::acquire(n->key, n);
     splice(cell);
     AnnCell* expected = nullptr;
     if (!n->ann_cell[slot_].compare_exchange_strong(expected, cell)) {
       // Another helper's cell is canonical; ours must never be observed as
-      // an announcement (traversals check canonicity) — retire it.
+      // an announcement (traversals check canonicity) — retire it. The
+      // loser is this cell's sole owner, so no claim step is needed.
       mark(cell);
       unlink(cell);
+      retire_cell(cell);
     }
   }
 
   /// Retract the announcement of `n`. Requires a prior insert (the trie
-  /// always announces before it can complete). Idempotent.
+  /// always announces before it can complete). Idempotent: the owner and
+  /// any helper (l.135) may both call this; the tombstone CAS elects the
+  /// one retirer, so the cell is marked/unlinked/retired exactly once —
+  /// a second pass must never touch a cell the pool may have reissued.
   void remove(UpdateNode* n) {
+    ebr::Guard guard;  // see insert()
     AnnCell* cell = n->ann_cell[slot_].load();
     assert(cell != nullptr);
+    if (cell == kCellRetracted) return;
+    if (!n->ann_cell[slot_].compare_exchange_strong(cell, kCellRetracted)) {
+      return;  // another retirer claimed it
+    }
     mark(cell);
     unlink(cell);
+    retire_cell(cell);
   }
 
   /// Head sentinel (key -inf ascending / +inf descending).
@@ -95,6 +122,7 @@ class AnnounceList {
   /// sentinel when none. (Marked-cell skipping does not unlink here; the
   /// writer-side search does the physical cleanup.)
   AnnCell* next_visible(AnnCell* c) const {
+    ebr::Guard guard;  // see insert()
     AnnCell* cur = strip(c->next.load());
     Stats::count_read();
     while (cur != &tail_) {
@@ -113,8 +141,24 @@ class AnnounceList {
 
   /// True if `c` currently represents a visible announcement of its node.
   bool visible(AnnCell* c) const {
+    ebr::Guard guard;  // see insert()
     return c != &head_ && c != &tail_ && !marked(c->next.load()) &&
            c->node->ann_cell[slot_].load() == c;
+  }
+
+  /// Destructor-time reclamation (requires quiescence): hand every cell
+  /// still chained — the canonical announcements of resident update
+  /// nodes — back to the pool. Marked cells are skipped: a marked cell
+  /// was already claimed by a retire path (its quarantine or EBR limbo
+  /// owns it; releasing it here would double-free).
+  void release_all_cells_for_destruction() {
+    AnnCell* c = strip(head_.next.load());
+    while (c != &tail_) {
+      AnnCell* next = strip(c->next.load());
+      if (!marked(c->next.load())) AnnCellPool::release(c);
+      c = next;
+    }
+    head_.next.store(pack(&tail_));
   }
 
  private:
@@ -175,12 +219,25 @@ class AnnounceList {
 
   /// Best-effort physical removal: one search pass snips marked cells
   /// around this key (including `cell` unless a concurrent pass did).
+  /// A cell that stays linked is caught by the quarantine's pinned-set
+  /// closure from the list head, so failure here costs latency, not
+  /// safety.
   void unlink(AnnCell* cell) {
     AnnCell *pred, *curr;
     search(cell->key, pred, curr);
   }
 
-  NodeArena* arena_;
+  /// Stage-1 retirement of a marked, claim-won cell (see the header
+  /// comment for the U-ALL vs RU-ALL/SU-ALL split).
+  void retire_cell(AnnCell* cell) {
+    if (quarantine_ != nullptr) {
+      quarantine_->retire(cell);
+    } else {
+      AnnCellPool::release(cell);
+    }
+  }
+
+  CellQuarantine* quarantine_;
   const int slot_;
   const bool descending_;
   AnnCell head_;

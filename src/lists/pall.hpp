@@ -33,6 +33,7 @@
 #include <cstdint>
 
 #include "core/update_node.hpp"
+#include "reclaim/node_pool.hpp"
 #include "sync/ebr.hpp"
 #include "sync/stats.hpp"
 
@@ -166,7 +167,7 @@ class NotifyList {
   static bool push(PredecessorNode* p, NotifyNode* n, Validate&& validate) {
     for (;;) {
       NotifyNode* head = p->notify_head.load();
-      n->next = head;
+      n->next.store(head);
       if (!validate()) return false;
       NotifyNode* expected = head;
       bool ok = p->notify_head.compare_exchange_strong(expected, n);
@@ -192,19 +193,17 @@ class NotifyList {
 /// PAll::remove_for_reuse (mark + guaranteed physical detach) →
 /// release() (ebr::retire) → grace period → back on the free list.
 ///
-/// Soundness:
-///  * acquire() must run inside an EBR read-side critical section (every
-///    trie operation that queries holds an ebr::Guard). The guard makes
-///    the free-list pop ABA-free: a popped node can only return to the
-///    list through retire + a full grace period, which cannot elapse
-///    while the popping thread's guard is live.
+/// Soundness (the full argument lives on RecyclePool,
+/// reclaim/node_pool.hpp — this pool is its first instantiation, and the
+/// free-list head it brings is cache-line padded, closing the false-
+/// sharing hazard the open-coded PR 4 head had next to the registry
+/// head):
 ///  * release() requires the node to be detached from the P-ALL
 ///    (remove_for_reuse). Stale *references* from concurrent traversals
 ///    are exactly what the grace period waits out; stale *pointer
 ///    identity* held beyond it (DelNode::del_query_node) is disarmed by
 ///    the generation counter bumped on every reuse.
-///  * Nodes are plain heap allocations owned by the pool, never freed,
-///    and threaded on an immortal all-nodes registry — so the pool is
+///  * Node storage is immortal pool-slab memory — the pool is
 ///    trie-agnostic (a node may serve many tries over its life), trie
 ///    destruction needs no coordination with in-flight retirements, and
 ///    leak checkers see every node as reachable. Peak memory is bounded
@@ -212,65 +211,54 @@ class NotifyList {
 ///    nodes, which recycling keeps at O(threads): the unbounded
 ///    per-query arena growth this replaces is gone.
 class QueryNodePool {
+  struct Traits {
+    using Node = PredecessorNode;
+    static constexpr MemClass kClass = MemClass::kQueryNode;
+    static Node* free_link(Node* n) {
+      return reinterpret_cast<Node*>(n->pall_next.load());
+    }
+    static void set_free_link(Node* n, Node* next) {
+      n->pall_next.store(reinterpret_cast<uintptr_t>(next));
+    }
+    static void construct(void* p) { ::new (p) PredecessorNode(0); }
+  };
+  using Pool = reclaim::RecyclePool<Traits>;
+
  public:
-  /// Pop a recycled node or allocate a fresh one. Caller must hold an
-  /// ebr::Guard (see class comment).
+  /// Pop a recycled node or carve a fresh one, reset for (key, dir).
   static PredecessorNode* acquire(Key key, QueryDir dir) {
-    uintptr_t h = free_head_.load();
-    while (h != 0) {
-      auto* n = reinterpret_cast<PredecessorNode*>(h);
-      const uintptr_t next = n->pall_next.load();
-      if (free_head_.compare_exchange_weak(h, next)) {
-        // Reset fields individually — deliberately NOT a destroy +
-        // placement-new, which would end and restart the atomic
-        // members' lifetimes with non-atomic stores while a losing
-        // concurrent popper may still be reading the free-list link;
-        // this way `pall_next` is only ever touched through atomic
-        // operations (the upcoming PAll::push overwrites it).
-        n->key = key;
-        n->dir = dir;
-        n->notify_head.store(nullptr);
-        n->announce_position.store(0);
-        n->succ_position.store(0);
-        ++n->gen;
-        return n;
-      }
-    }
-    Stats::count_query_node_alloc();
-    auto* fresh = new PredecessorNode(key, dir);
-    PredecessorNode* head = all_head_.load();
-    do {
-      fresh->pool_all_next = head;
-    } while (!all_head_.compare_exchange_weak(head, fresh));
-    return fresh;
-  }
-
-  /// Hand a detached node to EBR; it rejoins the free list after the
-  /// grace period.
-  static void release(PredecessorNode* n) {
-    ebr::retire(n, [](void* p) {
-      auto* node = static_cast<PredecessorNode*>(p);
-      uintptr_t h = free_head_.load();
-      do {
-        node->pall_next.store(h);
-      } while (!free_head_.compare_exchange_weak(
-          h, reinterpret_cast<uintptr_t>(node)));
-    });
-  }
-
-  /// Nodes ever allocated (not currently live) — test observability.
-  static std::size_t allocated_count() {
-    std::size_t n = 0;
-    for (PredecessorNode* it = all_head_.load(); it != nullptr;
-         it = it->pool_all_next) {
-      ++n;
-    }
+    auto [n, recycled] = Pool::acquire();
+    if (!recycled) Stats::count_query_node_alloc();
+    // Reset fields individually — deliberately NOT a destroy +
+    // placement-new (see RecyclePool's recipe comment); `pall_next` is
+    // only ever touched through atomic operations (the upcoming
+    // PAll::push overwrites it).
+    n->key = key;
+    n->dir = dir;
+    n->notify_head.store(nullptr);
+    n->announce_position.store(0);
+    n->succ_position.store(0);
+    n->notify_len.store(0);
+    n->agg_present[0].store(kNoKey);
+    n->agg_present[1].store(kNoKey);
+    n->agg_tl[0].store(kNoKey);
+    n->agg_tl[1].store(kNoKey);
+    ++n->gen;
     return n;
   }
 
- private:
-  static inline std::atomic<uintptr_t> free_head_{0};
-  static inline std::atomic<PredecessorNode*> all_head_{nullptr};
+  /// Hand a detached node to EBR; it rejoins the free list after the
+  /// grace period. The trie instead uses retire_query_announcement
+  /// (core/trie_pools.hpp), which composes the notify-chain drain into
+  /// the post-grace deleter before calling recycle_now below.
+  static void release(PredecessorNode* n) { Pool::release(n); }
+
+  /// Post-grace hand-back for composed deleters; see
+  /// RecyclePool::recycle_now for the legality condition.
+  static void recycle_now(PredecessorNode* n) { Pool::recycle_now(n); }
+
+  /// Nodes ever allocated fresh (not currently live) — test observability.
+  static std::size_t allocated_count() { return Pool::allocated_count(); }
 };
 
 }  // namespace lfbt

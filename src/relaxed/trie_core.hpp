@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "core/trie_pools.hpp"
 #include "core/types.hpp"
 #include "core/update_node.hpp"
 #include "sync/arena.hpp"
@@ -133,7 +134,14 @@ class TrieCore {
       const uint32_t h = height(t);
       Stats::count_read();
       if (static_cast<UpdateNode*>(d) == u || h <= dn->upper0.load()) {
-        i_node->target.store(dn);
+        if (dn->try_pin()) {
+          // `target` always holds a pinned node; the displaced one drops
+          // its pin here, the final one at i_node's own retirement.
+          if (DelNode* old = i_node->target.exchange(dn)) unpin_update(old);
+        }
+        // Pin failure means dn is retired, hence its Delete completed —
+        // a stop signal aimed at it would be moot, so skipping the store
+        // loses nothing.
         if (!first_activated(i_node)) return;
         Stats::count_read();
         if (h < dn->lower1.read(std::memory_order_seq_cst)) {
@@ -258,6 +266,33 @@ class TrieCore {
 
   NodeArena& arena() noexcept { return *arena_; }
 
+  /// Destruction-time drain (owner's destructor, trie quiescent by
+  /// contract): force-release every pooled update node still resident in
+  /// the latest lists or dNodePtr slots, so trie create/destroy churn
+  /// reaches a steady state instead of growing the pools by each dead
+  /// trie's resident set. A node may sit in several slots at once (one
+  /// latest list + many dNodePtr levels); the state-word CAS inside
+  /// force_release dedups the hand-back. Arena nodes (dummies) are
+  /// skipped — the arena retires their chunks wholesale.
+  void drain_resident_for_destruction() {
+    auto hand_back = [](UpdateNode* u) {
+      if (u != nullptr && u->pooled() && u->force_release()) {
+        release_update_to_pool(u);
+      }
+    };
+    for (uint64_t x = 0; x < static_cast<uint64_t>(u_); ++x) {
+      UpdateNode* u = latest_[x].load(std::memory_order_relaxed);
+      while (u != nullptr) {
+        UpdateNode* next = u->latest_next.load(std::memory_order_relaxed);
+        hand_back(u);
+        u = next;
+      }
+    }
+    for (uint64_t t = 1; t < leaf_base_; ++t) {
+      hand_back(dnodeptr_[t].load(std::memory_order_relaxed));
+    }
+  }
+
  private:
   UpdateNode* install_latest_dummy(Key x) {
     DelNode* d = make_dummy(x);
@@ -278,18 +313,26 @@ class TrieCore {
       // the leftmost leaf key in its subtrie, older than every real op.
       const Key l = static_cast<Key>((t << height(t)) - leaf_base_);
       DelNode* dummy = make_dummy(l);
+      dummy->try_pin();  // residency pin, matching cas_dnodeptr's protocol
       if (dnodeptr_[t].compare_exchange_strong(d, dummy)) {
         Stats::count_cas(true);
         return dummy;
       }
+      unpin_update(dummy);  // lost; the dummy stays in the arena
       // d now holds the winning value.
     }
     return d;
   }
 
+  /// dNodePtr residency holds one pin per slot: `desired` is pinned
+  /// before the CAS (it is the caller's own live node, so try_pin cannot
+  /// fail), the displaced node's residency pin is dropped on success,
+  /// desired's fresh pin on failure.
   bool cas_dnodeptr(uint64_t t, DelNode* expected, DelNode* desired) {
+    desired->try_pin();
     bool ok = dnodeptr_[t].compare_exchange_strong(expected, desired);
     Stats::count_cas(ok);
+    unpin_update(ok ? static_cast<UpdateNode*>(expected) : desired);
     return ok;
   }
 

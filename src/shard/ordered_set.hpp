@@ -69,6 +69,16 @@ concept TraversableOrderedSet =
       { s.range_scan(y, y, limit, out) } -> std::convertible_to<std::size_t>;
     };
 
+/// An OrderedSet that reports the bytes it has reserved from the OS
+/// (arena + any structure-owned slabs). Process-wide pooled classes are
+/// NOT attributed here — they are shared across instances and reported
+/// through Stats::memory() (reclaim/mem_stats.hpp); the soak harness
+/// (workload/soak.hpp) watches both gauges.
+template <class S>
+concept MemoryReportingOrderedSet = OrderedSet<S> && requires(const S s) {
+  { s.memory_reserved() } -> std::convertible_to<std::size_t>;
+};
+
 /// An OrderedSet partitioned over shards, constructible from (universe,
 /// shard_count). The shard_count() requirement keeps this from matching
 /// unrelated two-argument constructors (e.g. a (universe, seed) one).
@@ -107,6 +117,12 @@ class AnyOrderedSet {
   /// True iff the wrapped structure models TraversableOrderedSet.
   bool supports_traversal() const { return impl_->supports_traversal(); }
 
+  /// Structure-owned reserved bytes (see MemoryReportingOrderedSet); 0
+  /// when the wrapped structure does not report memory. Pair with
+  /// Stats::memory() for the pooled-class picture.
+  std::size_t memory_reserved() const { return impl_->memory_reserved(); }
+  bool reports_memory() const { return impl_->reports_memory(); }
+
  private:
   struct Iface {
     virtual ~Iface() = default;
@@ -118,6 +134,8 @@ class AnyOrderedSet {
     virtual std::size_t range_scan(Key, Key, std::size_t,
                                    std::vector<Key>&) = 0;
     virtual bool supports_traversal() const = 0;
+    virtual std::size_t memory_reserved() const = 0;
+    virtual bool reports_memory() const = 0;
   };
 
   template <class S>
@@ -148,6 +166,16 @@ class AnyOrderedSet {
     }
     bool supports_traversal() const override {
       return TraversableOrderedSet<S>;
+    }
+    std::size_t memory_reserved() const override {
+      if constexpr (MemoryReportingOrderedSet<S>) {
+        return set->memory_reserved();
+      } else {
+        return 0;
+      }
+    }
+    bool reports_memory() const override {
+      return MemoryReportingOrderedSet<S>;
     }
     S* set;
   };

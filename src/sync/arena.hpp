@@ -8,7 +8,9 @@
 //  * Allocation is wait-free per thread: each thread bump-allocates from
 //    its own chunk; a new chunk is pushed onto a global lock-free chunk
 //    list only when the current one fills.
-//  * Destruction frees everything wholesale.
+//  * Destruction retires every chunk back to the process-wide ChunkStore
+//    (reclaim/chunk_retire.hpp) after an EBR grace period, so structure
+//    churn reuses chunk memory instead of growing the heap.
 //
 // The arena is intentionally type-erased (raw bytes) so one arena serves
 // update nodes, announcement cells, predecessor nodes and notify nodes.
@@ -20,6 +22,7 @@
 #include <cstdint>
 #include <new>
 
+#include "reclaim/chunk_retire.hpp"
 #include "sync/cacheline.hpp"
 #include "sync/thread_registry.hpp"
 
@@ -83,11 +86,7 @@ class NodeArena {
   }
 
  private:
-  struct Chunk {
-    Chunk* next;
-    std::size_t size;
-    alignas(std::max_align_t) char data[1];  // flexible tail
-  };
+  using Chunk = reclaim::ChunkStore::Chunk;
 
   struct Slot {
     uint64_t owner_id = 0;  // 0 = unowned; arena ids start at 1
@@ -103,11 +102,12 @@ class NodeArena {
 
   void new_chunk(Slot& slot, std::size_t min_bytes) {
     std::size_t payload = chunk_bytes_ > min_bytes ? chunk_bytes_ : min_bytes;
-    std::size_t total = sizeof(Chunk) + payload;
-    auto* c = static_cast<Chunk*>(::operator new(total, std::align_val_t{kCacheLine}));
-    c->size = total;
-    bytes_reserved_.fetch_add(total, std::memory_order_relaxed);
-    // Push onto the global chunk list (lock-free stack).
+    // The store may hand back a (recycled) chunk bigger than requested;
+    // account what we actually hold so memory_reserved() stays honest.
+    Chunk* c = reclaim::ChunkStore::acquire(payload);
+    bytes_reserved_.fetch_add(sizeof(Chunk) + c->payload,
+                              std::memory_order_relaxed);
+    // Push onto this arena's chunk list (lock-free stack).
     Chunk* head = chunks_.load(std::memory_order_relaxed);
     do {
       c->next = head;
@@ -115,14 +115,14 @@ class NodeArena {
                                             std::memory_order_relaxed));
     slot.chunk = c;
     slot.pos = 0;
-    slot.end = payload;
+    slot.end = c->payload;
   }
 
   void release_all() {
     Chunk* c = chunks_.exchange(nullptr, std::memory_order_acquire);
     while (c != nullptr) {
       Chunk* next = c->next;
-      ::operator delete(c, std::align_val_t{kCacheLine});
+      reclaim::ChunkStore::release(c);
       c = next;
     }
   }

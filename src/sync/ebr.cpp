@@ -18,6 +18,7 @@ struct alignas(kCacheLine) ThreadState {
   std::atomic<uint64_t> local_epoch{kIdle};  // kIdle when outside guards
   int nesting = 0;                           // owner-thread only
   int since_collect = 0;                     // owner-thread only
+  bool sweeping = false;                     // owner-thread only
   std::vector<Retired> limbo;                // owner-thread only
 };
 
@@ -47,6 +48,17 @@ void try_advance() {
 }
 
 void sweep(ThreadState& ts) {
+  // Deleters may compose teardown work that calls retire() again (e.g.
+  // a query announcement's notify-chain drain releasing each chain node
+  // back to its pool). Those nested retires land at the END of this same
+  // limbo vector — the index loop picks them up, and their fresh epoch
+  // keeps them parked — but a nested retire crossing the kCollectEvery
+  // threshold must NOT start a second sweep of the vector we are mid-
+  // compaction on: two interleaved `kept` cursors would duplicate
+  // entries (a double free) or drop them (a leak). The flag makes the
+  // nested collect() a no-op.
+  if (ts.sweeping) return;
+  ts.sweeping = true;
   // Nodes retired in epoch r are safe once every reader has announced an
   // epoch > r, i.e. min_announced() >= r + 2 (readers announced at r may
   // still hold references acquired in r; one full epoch in between makes
@@ -54,7 +66,7 @@ void sweep(ThreadState& ts) {
   const uint64_t safe_before = min_announced();
   std::size_t kept = 0;
   for (std::size_t i = 0; i < ts.limbo.size(); ++i) {
-    Retired& r = ts.limbo[i];
+    Retired r = ts.limbo[i];  // by value: deleters may reallocate limbo
     if (r.epoch + 2 <= safe_before) {
       r.deleter(r.ptr);
       g_pending.fetch_sub(1, std::memory_order_relaxed);
@@ -63,6 +75,7 @@ void sweep(ThreadState& ts) {
     }
   }
   ts.limbo.resize(kept);
+  ts.sweeping = false;
 }
 
 }  // namespace
@@ -99,12 +112,23 @@ void collect() {
 }
 
 void drain_unsafe() {
-  for (auto& ts : g_threads) {
-    for (Retired& r : ts.limbo) {
-      r.deleter(r.ptr);
-      g_pending.fetch_sub(1, std::memory_order_relaxed);
+  // Deleters may retire more work (composed teardown; see sweep) — it
+  // lands in the CALLING thread's limbo, which may already have been
+  // visited. Swap batches out and loop until every list stays empty.
+  bool again = true;
+  while (again) {
+    again = false;
+    for (auto& ts : g_threads) {
+      while (!ts.limbo.empty()) {
+        again = true;
+        std::vector<Retired> batch;
+        batch.swap(ts.limbo);
+        for (Retired& r : batch) {
+          r.deleter(r.ptr);
+          g_pending.fetch_sub(1, std::memory_order_relaxed);
+        }
+      }
     }
-    ts.limbo.clear();
   }
 }
 

@@ -13,12 +13,16 @@
 // StepCounts type and the Stats API stay available in both configurations
 // (aggregate() just reports zeros when disabled); counter-asserting tests
 // gate themselves on Stats::enabled().
+// Memory accounting (always-on, unlike the step counters) lives in
+// reclaim/mem_stats.hpp and is re-exported here through Stats::memory()
+// so harnesses have a single stats entry point.
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstdint>
 
+#include "reclaim/mem_stats.hpp"
 #include "sync/cacheline.hpp"
 #include "sync/thread_registry.hpp"
 
@@ -90,6 +94,11 @@ class Stats {
   /// True iff the instrumentation is compiled in. Counter-asserting tests
   /// GTEST_SKIP on !enabled() so a -DTRIE_STATS=OFF build still passes.
   static constexpr bool enabled() { return LFBT_STATS_ENABLED != 0; }
+
+  /// Process-wide memory-class counters (pool/arena bytes, recycle hit
+  /// rates). Always on, independent of the TRIE_STATS toggle — CI's soak
+  /// smoke test reads these from a release build.
+  static MemStats::Snapshot memory() { return MemStats::snapshot_all(); }
 
 #if LFBT_STATS_ENABLED
   static StepCounts& local() { return slots_[ThreadRegistry::id()].value; }

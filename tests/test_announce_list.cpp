@@ -27,14 +27,14 @@ std::vector<Key> visible_keys(AnnounceList& list) {
 
 TEST(AnnounceList, AscendingInsertKeepsSortedOrder) {
   NodeArena arena;
-  AnnounceList list(arena, kUall, /*descending=*/false);
+  AnnounceList list(kUall, /*descending=*/false, nullptr);
   for (Key k : {5, 1, 9, 3, 7}) list.insert(make_node(arena, k));
   EXPECT_EQ(visible_keys(list), (std::vector<Key>{1, 3, 5, 7, 9}));
 }
 
 TEST(AnnounceList, DescendingInsertKeepsReverseOrder) {
   NodeArena arena;
-  AnnounceList list(arena, kRuall, /*descending=*/true);
+  AnnounceList list(kRuall, /*descending=*/true, nullptr);
   for (Key k : {5, 1, 9, 3, 7}) list.insert(make_node(arena, k));
   EXPECT_EQ(visible_keys(list), (std::vector<Key>{9, 7, 5, 3, 1}));
 }
@@ -43,8 +43,8 @@ TEST(AnnounceList, EqualKeysOrderedByInsertionTime) {
   // The paper: a node is added *after* every node with the same key (both
   // lists), giving insertion order among equals.
   NodeArena arena;
-  AnnounceList asc(arena, kUall, false);
-  AnnounceList desc(arena, kRuall, true);
+  AnnounceList asc(kUall, false, nullptr);
+  AnnounceList desc(kRuall, true, nullptr);
   UpdateNode* first = make_node(arena, 4);
   UpdateNode* second = make_node(arena, 4);
   asc.insert(first);
@@ -57,7 +57,7 @@ TEST(AnnounceList, EqualKeysOrderedByInsertionTime) {
 
 TEST(AnnounceList, RemoveHidesNode) {
   NodeArena arena;
-  AnnounceList list(arena, kUall, false);
+  AnnounceList list(kUall, false, nullptr);
   UpdateNode* a = make_node(arena, 1);
   UpdateNode* b = make_node(arena, 2);
   list.insert(a);
@@ -70,7 +70,7 @@ TEST(AnnounceList, RemoveHidesNode) {
 
 TEST(AnnounceList, RemoveIsIdempotent) {
   NodeArena arena;
-  AnnounceList list(arena, kUall, false);
+  AnnounceList list(kUall, false, nullptr);
   UpdateNode* a = make_node(arena, 1);
   list.insert(a);
   list.remove(a);
@@ -83,7 +83,7 @@ TEST(AnnounceList, MultiHelperInsertYieldsOneVisibleAnnouncement) {
   // one cell may ever be visible, no matter the interleaving.
   for (int round = 0; round < 100; ++round) {
     NodeArena arena;
-    AnnounceList list(arena, kUall, false);
+    AnnounceList list(kUall, false, nullptr);
     UpdateNode* n = make_node(arena, 42);
     constexpr int kHelpers = 6;
     std::vector<std::thread> ts;
@@ -111,7 +111,7 @@ TEST(AnnounceList, SpuriousCellsAreNeverVisibleAfterRemove) {
   // resurrect the node (the canonicity filter).
   for (int round = 0; round < 50; ++round) {
     NodeArena arena;
-    AnnounceList list(arena, kUall, false);
+    AnnounceList list(kUall, false, nullptr);
     UpdateNode* n = make_node(arena, 7);
     std::atomic<bool> go{false};
     std::thread helper([&] {
@@ -131,7 +131,7 @@ TEST(AnnounceList, SpuriousCellsAreNeverVisibleAfterRemove) {
 
 TEST(AnnounceList, ConcurrentInsertRemoveStress) {
   NodeArena arena;
-  AnnounceList list(arena, kUall, false);
+  AnnounceList list(kUall, false, nullptr);
   constexpr int kThreads = 4;
   constexpr int kOps = 3000;
   std::vector<std::thread> ts;
@@ -153,7 +153,7 @@ TEST(AnnounceList, ConcurrentInsertRemoveStress) {
 
 TEST(AnnounceList, NextWordExposesTraversableChain) {
   NodeArena arena;
-  AnnounceList list(arena, kRuall, true);
+  AnnounceList list(kRuall, true, nullptr);
   for (Key k : {3, 1, 2}) list.insert(make_node(arena, k));
   // Walk raw next words like the RU-ALL traversal does.
   AnnCell* c = list.head();

@@ -7,12 +7,14 @@
 // through the fused delete path (flat and sharded).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
 #include <thread>
 #include <vector>
 
 #include "core/lockfree_trie.hpp"
 #include "ebr_test_util.hpp"
+#include "reclaim/mem_stats.hpp"
 #include "shard/sharded_trie.hpp"
 #include "stress_util.hpp"
 #include "sync/random.hpp"
@@ -230,13 +232,15 @@ TEST(FusedQuery, StalledFusedDeleteUnderConcurrentQueries) {
   // check window invariants (pinned keys below/above must keep being
   // found; the stalled key must never reappear).
   //
-  // The writer's op count is BOUNDED (not run-until-stopped): a stalled
-  // announcement's notify list grows by one node per update forever
-  // (the paper's design permanently announces a crashed query op), and
-  // every reader ⊥-fallback through the poisoned subtree walks that
-  // list — an unbounded writer makes reader queries slower without
-  // bound, which is an adversarial property of the algorithm, not a
-  // bug this test should time out on.
+  // The stalled announcement's notify list is also the memory adversary
+  // of the paper's design: it permanently announces a crashed query op,
+  // and pre-reclaim every update pushed one more notify node onto it
+  // forever. PR 6 caps the list at PredecessorNode::kNotifyCap and folds
+  // later notifiers into the per-direction aggregates — so this test (a)
+  // churns well past the cap and asserts the notify-node footprint
+  // plateaus, and (b) keeps the reader invariant checks running after
+  // the cap trips, which is exactly when answers must come from the
+  // aggregate path instead of fresh notify nodes.
   LockFreeBinaryTrie t(128);
   t.insert(5);    // pinned low
   t.insert(64);   // the victim
@@ -244,11 +248,14 @@ TEST(FusedQuery, StalledFusedDeleteUnderConcurrentQueries) {
   ASSERT_TRUE(t.stall_delete_for_test(64));
   ASSERT_FALSE(t.contains(64));
 
+  const std::uint64_t notify_in_use_before =
+      Stats::memory().cls[static_cast<int>(MemClass::kNotifyNode)].in_use();
+
   std::atomic<bool> stop{false};
   std::atomic<bool> bad{false};
   std::thread writer([&] {
     Xoshiro256 rng(780);
-    for (int i = 0; i < 4000 && !stop.load(); ++i) {
+    for (int i = 0; i < 6000 && !stop.load(); ++i) {
       Key k = 16 + static_cast<Key>(rng.bounded(32));  // churn band 16..47
       if (rng.bounded(2)) {
         t.insert(k);
@@ -280,6 +287,22 @@ TEST(FusedQuery, StalledFusedDeleteUnderConcurrentQueries) {
   EXPECT_EQ(t.successor(63), 100);
   EXPECT_EQ(t.predecessor(128), 100);
   EXPECT_EQ(t.successor(100), kNoKey);
+
+  // Bounded notify footprint: the crashed delete left TWO permanently
+  // announced fused pairs (its first and second embedded queries), and
+  // 6000 writer updates tried to notify both — but each list may own at
+  // most kNotifyCap notify nodes, plus a small race overshoot (threads
+  // that passed the cap check concurrently) and transient nodes of
+  // queries still in EBR limbo. Flush limbo first: every worker has
+  // joined, so no guard is live and the drain is the sanctioned use.
+  ebr::drain_unsafe();
+  const std::uint64_t notify_in_use_after =
+      Stats::memory().cls[static_cast<int>(MemClass::kNotifyNode)].in_use();
+  const std::uint64_t grown = notify_in_use_after > notify_in_use_before
+                                  ? notify_in_use_after - notify_in_use_before
+                                  : 0;
+  EXPECT_LE(grown, 2u * PredecessorNode::kNotifyCap + 256u)
+      << "stalled announcements' notify lists are not capped";
 }
 
 // ---- Wing–Gong through the fused delete path -------------------------------

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
+#include "ebr_test_util.hpp"
 #include "sync/arena.hpp"
 
 namespace lfbt {
@@ -86,7 +88,7 @@ TEST(NotifyList, PushPrependsNewestFirst) {
     EXPECT_TRUE(NotifyList::push(p, n, [] { return true; }));
   }
   std::vector<Key> seen;
-  for (NotifyNode* n = NotifyList::head(p); n != nullptr; n = n->next) {
+  for (NotifyNode* n = NotifyList::head(p); n != nullptr; n = n->next.load()) {
     seen.push_back(n->key);
   }
   EXPECT_EQ(seen, (std::vector<Key>{3, 2, 1}));
@@ -118,8 +120,50 @@ TEST(NotifyList, ConcurrentPushesAllLand) {
   }
   for (auto& t : ts) t.join();
   int count = 0;
-  for (NotifyNode* n = NotifyList::head(p); n != nullptr; n = n->next) ++count;
+  for (NotifyNode* n = NotifyList::head(p); n != nullptr; n = n->next.load()) ++count;
   EXPECT_EQ(count, kThreads * kPerThread);
+}
+
+TEST(QueryNodePool, ConcurrentAcquireReleaseIsAbaSafeAndRecycles) {
+  // ABA regression for the pool free list (reclaim/node_pool.hpp): if
+  // acquire()'s guarded pop were ABA-vulnerable — a node re-entering the
+  // free list without a grace period while a popper's compare-exchange is
+  // in flight — two threads could be handed the SAME node concurrently.
+  // Each thread stamps its acquisition with a thread-unique key and
+  // re-reads it under contention; exclusive ownership means the stamp can
+  // never change under us. The release() -> grace -> free-list round trip
+  // is exactly the window the discipline must keep closed.
+  const std::size_t carved_before = QueryNodePool::allocated_count();
+  constexpr int kThreads = 6;
+  constexpr int kOps = 60000;
+  std::atomic<bool> bad{false};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      for (int i = 0; i < kOps && !bad.load(std::memory_order_relaxed); ++i) {
+        const Key stamp = static_cast<Key>(t) * kOps + i + 1;
+        PredecessorNode* p = QueryNodePool::acquire(stamp, QueryDir::kBoth);
+        for (int spin = 0; spin < 16; ++spin) {
+          if (p->key != stamp) {
+            bad.store(true, std::memory_order_relaxed);
+            break;
+          }
+        }
+        QueryNodePool::release(p);  // never published; extra grace is free
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_FALSE(bad.load());
+  // Recycling bound: fresh carves track the limbo high-water (nodes
+  // retired but not yet past their grace period), not the acquisition
+  // count. This loop is the worst case for limbo — every op is a retire
+  // and every thread is always inside a guard — so the high-water is
+  // fat; carves still stay well under the acquisition count, and grow
+  // sub-linearly with kOps where a recycling failure would be linear.
+  const std::size_t carved =
+      QueryNodePool::allocated_count() - carved_before;
+  EXPECT_LT(carved, static_cast<std::size_t>(kThreads) * kOps / 3);
 }
 
 }  // namespace
