@@ -1,0 +1,254 @@
+// E14: online resharding under skew — the split subsystem's claim.
+// Subsystem claim (docs/EXPERIMENTS.md): a Zipfian/clustered write storm
+// that lands on one shard is bound by that shard's single-trie
+// throughput; splitting the hot range online (while the storm runs)
+// recovers the parallelism, so post-split throughput beats the pre-split
+// hot-shard-bound rate, and tail latency THROUGH the split window stays
+// bounded (clients hitting an announced copy window back off for at most
+// a batch; reads never block).
+//
+// Like E13 this bench SELF-CHECKS: it exits non-zero when
+//   - post-split throughput < LFBT_E14_MIN_SPEEDUP (default 1.3) x the
+//     pre-split rate, or
+//   - p99 during the split window > LFBT_E14_P99_FACTOR (default 100) x
+//     the pre-split p99, or
+//   - the resharding churn soak (split/merge every window under churn)
+//     grows the memory footprint — the E13 leak gate extended to the
+//     control plane.
+// Rows go to BENCH_E14.json. A third, unchecked panel reports the load
+// observer chasing a flash-crowd hot spot (maybe_split under a moving
+// window) for the record.
+#include <thread>
+
+#include "bench_util.hpp"
+#include "shard/sharded_trie.hpp"
+#include "workload/soak.hpp"
+
+namespace lfbt {
+namespace {
+
+bench::JsonRows g_json;
+
+double env_double(const char* name, double def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : def;
+}
+
+void report_phase(const char* phase, const ShardedTrie& t,
+                  const BenchConfig& cfg, const BenchResult& r) {
+  bench::row(bench::fmt(
+      "| %-12s | %6d | %7.3f | %8llu | %8llu | %8llu |", phase,
+      t.shard_count(), r.mops_per_sec,
+      static_cast<unsigned long long>(r.latency_pct(0.50)),
+      static_cast<unsigned long long>(r.latency_pct(0.95)),
+      static_cast<unsigned long long>(r.latency_pct(0.99))));
+  g_json.add(bench::fmt(
+      "{\"panel\":\"hot-split\",\"phase\":\"%s\",\"threads\":%d,"
+      "\"shards\":%d,\"total_ops\":%llu,\"mops_per_sec\":%.4f,"
+      "\"p50_ns\":%llu,\"p95_ns\":%llu,\"p99_ns\":%llu}",
+      phase, cfg.threads, t.shard_count(),
+      static_cast<unsigned long long>(r.total_ops), r.mops_per_sec,
+      static_cast<unsigned long long>(r.latency_pct(0.50)),
+      static_cast<unsigned long long>(r.latency_pct(0.95)),
+      static_cast<unsigned long long>(r.latency_pct(0.99))));
+}
+
+/// Panel 1: clustered write storm on shard 0 of an 8-shard trie;
+/// measure, then split the hot range into quarters WHILE the storm
+/// runs, then measure again.
+bool hot_split_panel(int threads) {
+  bench::header("E14a: forced split of a hot range mid-storm",
+                "clustered updates bound by one shard recover parallelism "
+                "once the range is split online");
+  bench::row("| phase        | shards |  Mops/s |  p50 ns |  p95 ns |  p99 ns |");
+  bench::row("|--------------|--------|---------|---------|---------|---------|");
+
+  BenchConfig cfg;
+  cfg.threads = threads;
+  cfg.ops_per_thread = bench::scaled(400000);
+  cfg.universe = Key{1} << 20;
+  cfg.mix = kUpdateHeavy;
+  cfg.shards = 8;
+  // The storm: every op inside shard 0's range ([0, 2^17)).
+  cfg.cluster_width = cfg.universe / 8;
+  cfg.sample_latency = true;
+
+  ShardedTrie t(cfg.universe, 8);
+  prefill(t, cfg);
+
+  const BenchResult pre = run_bench(t, cfg);
+  report_phase("pre-split", t, cfg, pre);
+
+  // Split window: quarter the hot range while the same storm runs.
+  // split(0) twice halves the left half twice; split(2) halves the
+  // upper half — [0,2^17) ends as four ranges, each its own shard.
+  std::thread splitter([&t] {
+    t.split(0);
+    t.split(0);
+    t.split(2);
+  });
+  const BenchResult mid = run_bench(t, cfg);
+  splitter.join();
+  report_phase("split-window", t, cfg, mid);
+
+  const BenchResult post = run_bench(t, cfg);
+  report_phase("post-split", t, cfg, post);
+
+  // The speedup floor assumes the host can actually run two storm
+  // threads in parallel; on a single-hardware-thread host there is no
+  // parallelism for the split to recover (threads time-slice one core
+  // whatever the geometry), so the gate degrades to a no-regression
+  // check. LFBT_E14_MIN_SPEEDUP overrides either default.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const bool parallel_host = hw >= 2;
+  const double min_speedup =
+      env_double("LFBT_E14_MIN_SPEEDUP", parallel_host ? 1.3 : 0.85);
+  if (!parallel_host) {
+    bench::row(bench::fmt(
+        "single hardware thread: speedup floor degraded to %.2fx "
+        "(no parallelism to recover)",
+        min_speedup));
+  }
+  const double p99_factor = env_double("LFBT_E14_P99_FACTOR", 100.0);
+  const double speedup = post.mops_per_sec / pre.mops_per_sec;
+  const double p99_ratio =
+      pre.latency_pct(0.99) == 0
+          ? 0.0
+          : double(mid.latency_pct(0.99)) / double(pre.latency_pct(0.99));
+  bench::row(bench::fmt(
+      "speedup post/pre: %.2fx (floor %.2fx); split-window p99 blowup: "
+      "%.1fx (cap %.0fx)",
+      speedup, min_speedup, p99_ratio, p99_factor));
+  bench::row("");
+  g_json.add(bench::fmt(
+      "{\"panel\":\"hot-split\",\"phase\":\"verdict\",\"threads\":%d,"
+      "\"hardware_threads\":%u,\"speedup\":%.4f,\"min_speedup\":%.4f,"
+      "\"p99_ratio\":%.4f,\"p99_factor\":%.4f}",
+      threads, hw, speedup, min_speedup, p99_ratio, p99_factor));
+
+  bool ok = true;
+  if (speedup < min_speedup) {
+    std::fprintf(stderr, "E14a: speedup %.2fx below floor %.2fx\n", speedup,
+                 min_speedup);
+    ok = false;
+  }
+  if (p99_ratio > p99_factor) {
+    std::fprintf(stderr, "E14a: split-window p99 blew up %.1fx (cap %.0fx)\n",
+                 p99_ratio, p99_factor);
+    ok = false;
+  }
+  return ok;
+}
+
+/// Panel 2 (reported, not gated): the load observer chasing a flash
+/// crowd — a hot window that jumps mid-run, with maybe_split() polled
+/// from a maintenance thread.
+void flash_crowd_panel(int threads) {
+  bench::header("E14b: load observer vs a flash crowd",
+                "maybe_split() follows a jumping hot window; reported for "
+                "the record (a moving crowd can outrun any splitter)");
+
+  BenchConfig cfg;
+  cfg.threads = threads;
+  cfg.ops_per_thread = bench::scaled(400000);
+  cfg.universe = Key{1} << 20;
+  cfg.mix = kUpdateHeavy;
+  cfg.shards = 4;
+  cfg.flash_width = Key{1} << 15;
+  cfg.flash_period = uint64_t{1} << 16;
+
+  ShardedTrie t(cfg.universe, 4);
+  prefill(t, cfg);
+
+  std::atomic<bool> stop{false};
+  ShardedTrie::SplitPolicy pol;
+  pol.min_ops = uint64_t{1} << 14;
+  std::thread observer([&] {
+    while (!stop.load()) {
+      t.maybe_split(pol);
+      std::this_thread::yield();
+    }
+  });
+  const BenchResult r = run_bench(t, cfg);
+  stop.store(true);
+  observer.join();
+
+  bench::row(bench::fmt(
+      "%d threads: %.3f Mops/s; observer published %llu splits "
+      "(%d shards at exit)",
+      threads, r.mops_per_sec,
+      static_cast<unsigned long long>(t.reshard_count()), t.shard_count()));
+  bench::row("");
+  g_json.add(bench::fmt(
+      "{\"panel\":\"flash-crowd\",\"threads\":%d,\"total_ops\":%llu,"
+      "\"mops_per_sec\":%.4f,\"reshards\":%llu,\"final_shards\":%d}",
+      threads, static_cast<unsigned long long>(r.total_ops), r.mops_per_sec,
+      static_cast<unsigned long long>(t.reshard_count()), t.shard_count()));
+}
+
+/// Panel 3: the resharding churn soak — split/merge cycles under client
+/// churn every window must not grow the footprint (gated).
+bool churn_soak_panel(int threads) {
+  bench::header("E14c: split/merge churn soak (leak gate)",
+                "repeated resharding recycles tables, ctl blocks and merge "
+                "victims; the final two windows must not grow");
+  bench::row("| window |     ops | struct KiB |  pool KiB |  Mops/s |");
+  bench::row("|--------|---------|------------|-----------|---------|");
+
+  ShardedTrie t(Key{1} << 14, 2);
+  SoakConfig cfg;
+  cfg.threads = threads;
+  cfg.windows = 5;
+  cfg.ops_per_thread_per_window = bench::scaled(60000);
+  cfg.universe = Key{1} << 14;
+  cfg.mix = kUpdateHeavy;
+  cfg.disturbance = [&t](int) {
+    for (int j = 0; j < 3; ++j) {
+      t.split(0);
+      t.split(1);
+      t.merge(1);
+      t.merge(0);
+    }
+    ebr::synchronize();  // flush retired tables/ctls/victims pre-sample
+  };
+  const auto samples = churn_soak(t, cfg);
+  for (const SoakWindowSample& s : samples) {
+    bench::row(bench::fmt("| %6d | %7llu | %10.1f | %9.1f | %7.3f |",
+                          s.window, static_cast<unsigned long long>(s.ops),
+                          double(s.structure_bytes) / 1024.0,
+                          double(s.pool_bytes) / 1024.0, s.mops_per_sec));
+    g_json.add(bench::fmt(
+        "{\"panel\":\"churn-soak\",\"threads\":%d,\"window\":%d,"
+        "\"ops\":%llu,\"structure_bytes\":%llu,\"pool_bytes\":%llu,"
+        "\"mops_per_sec\":%.4f}",
+        cfg.threads, s.window, static_cast<unsigned long long>(s.ops),
+        static_cast<unsigned long long>(s.structure_bytes),
+        static_cast<unsigned long long>(s.pool_bytes), s.mops_per_sec));
+  }
+  const bool flat = soak_tail_is_flat(samples);
+  bench::row(bench::fmt("tail (last two windows): %s; %llu reshards",
+                        flat ? "flat" : "GROWING — leak",
+                        static_cast<unsigned long long>(t.reshard_count())));
+  bench::row("");
+  if (!flat) {
+    std::fprintf(stderr, "E14c: resharding churn grew the footprint\n");
+  }
+  return flat;
+}
+
+}  // namespace
+}  // namespace lfbt
+
+int main() {
+  using namespace lfbt;
+  int threads = 4;
+  if (!bench::threads_allowed(threads)) threads = bench::max_threads();
+  if (threads <= 0) threads = 1;
+
+  bool ok = hot_split_panel(threads);
+  flash_crowd_panel(threads);
+  ok = churn_soak_panel(threads) && ok;
+
+  if (!g_json.write("BENCH_E14.json")) return 1;
+  return ok ? 0 : 1;
+}

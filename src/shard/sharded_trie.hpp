@@ -1,256 +1,353 @@
 // ShardedTrie: horizontal partitioning of the paper's lock-free binary
-// trie. The universe U = {0..u-1} is split into S contiguous ranges of
-// width w = ceil(u/S); shard i owns [i*w, min((i+1)*w, u)) and is backed
-// by a fully independent LockFreeBinaryTrie — its own NodeArena, its own
-// U-ALL/RU-ALL/SU-ALL/P-ALL announcement lists — so shards share no contended
-// cache lines (each shard's hot word is cache-line padded, and the trie
-// instances are separate heap allocations). All the contention that
-// funnels through one instance's latest-list CASes and announcement
-// traffic is divided by S for uniformly-spread workloads, and each
-// shard's O(log u) update paths shrink to O(log w).
+// trie, with ONLINE RESHARDING. The universe U = {0..u-1} is split into
+// contiguous ranges, each backed by a fully independent
+// LockFreeBinaryTrie — its own NodeArena, its own U-ALL/RU-ALL/SU-ALL/
+// P-ALL announcement lists — so shards share no contended cache lines.
+// All the contention that funnels through one instance's latest-list
+// CASes and announcement traffic is divided across the ranges, and each
+// shard's O(log u) update paths shrink to O(log width).
+//
+// Construction partitions U into S fixed-width ranges exactly as before,
+// but the geometry is no longer frozen: a hot range can be split while
+// readers and writers run (split()/maybe_split()), and a split-derived
+// pair can be merged back (merge()). Routing is a versioned range map
+// (shard/range_map.hpp): an immutable table snapshot published by
+// pointer store and retired through EBR, consulted under an ebr::Guard
+// by every operation. The data plane stays lock-free; the control plane
+// (split/merge/table republish) serializes on a mutex and may block in
+// EBR grace waits — an honest division: geometry changes are rare and
+// never on the op path.
 //
 // ---------------------------------------------------------------------
-// Linearizability
+// Linearizability: single-range operations
 // ---------------------------------------------------------------------
-// contains/insert/erase touch exactly one shard (keys route by x / w) and
-// inherit the inner operation's linearization point. Because shards own
-// disjoint key ranges, these single-shard histories compose by locality
-// (Herlihy & Wing): a multi-object history is linearizable iff each
-// per-object subhistory is, and each shard is an independent linearizable
-// object here.
+// With a quiescent geometry, contains/insert/erase touch exactly one
+// shard and inherit the inner operation's linearization point; since
+// ranges own disjoint keys, these histories compose by locality
+// (Herlihy & Wing). While a migration drains range [move_lo, move_hi)
+// from src to dst (SplitCtl), a key's authority is decided by the
+// migration word: keys below the watermark live in dst, keys at or
+// above it in src, and the ≤ kBatch keys of an announced copy window
+// are EXCLUSIVELY the migrator's — the announce-CAS is followed by one
+// EBR grace wait, and every client op holds its guard from routing
+// decision to trie return, so every op routed before the announce has
+// finished before the copy starts. Client updates that hit the window
+// drop their guard, back off and re-route (the window settles after at
+// most one batch copy; a takeover unwedges an abandoned owner), so an
+// update's linearization point is its inner trie op in whichever trie
+// the final attempt routed to. Client reads never block: a contains
+// inside the window reads src then dst — exact, because during the
+// window only the migrator writes those keys, and it inserts into dst
+// BEFORE erasing from src, so a key present throughout is seen by one
+// of the two probes.
 //
-// predecessor(y) is the one operation that may observe several shards, so
-// locality does not apply and the scan carries its own argument. The
-// query walks shards downward from the owner s0 = (y-1)/w. For each
-// shard it first records the shard's insert epoch (a counter the insert
-// wrapper bumps *after* the inner insert returns), then makes one
-// linearizable per-shard observation: either the shard's conservative
-// size counter reads 0 (see LockFreeBinaryTrie::size(): the counter never
-// undercounts live keys, so this is a true "shard empty now" observation
-// and the shard is skipped in O(1)), or the shard's own predecessor runs.
-// The first shard s* to produce a key a gives the candidate answer; the
-// whole operation linearizes at t*, the linearization point of that inner
-// observation. Afterwards the scan re-reads the epochs of every shard
-// above s* and retries from scratch if any moved.
-//
-// Why the validated answer is correct at t*: shard s* held a < y at t* by
-// the inner trie's linearizability; shards below s* are irrelevant (they
-// only own smaller keys); and for each shard s in (s*, s0] the earlier
-// observation proved "no key < y in shard s" at some t_s < t*. The only
-// way shard s could hold a key < y at t* is an insert linearized inside
-// (t_s, t*). Any insert that linearized before t_s was visible to shard
-// s's own linearizable observation; one that linearized after t_s bumps
-// the shard epoch before its wrapper returns, so either the final epoch
-// read (at t_v > t*) sees the bump — and we retry — or the insert's
-// response comes after t_v, making it concurrent with this predecessor
-// and legitimately ordered after it. Erases in higher shards only remove
-// keys and can never invalidate "no key < y there". When every shard
-// reports kNoKey the operation linearizes at shard 0's observation and
-// shards 1..s0 are validated identically. A retry happens only when an
-// epoch moved, i.e. some insert completed — system-wide progress — so the
-// structure as a whole stays lock-free.
 // ---------------------------------------------------------------------
+// Linearizability: cross-range predecessor/successor
+// ---------------------------------------------------------------------
+// predecessor(y) walks ranges downward from the owner of y-1. For each
+// range it first records the backing shard's insert epoch (a counter
+// the insert wrapper bumps *after* the inner insert returns), then
+// makes one per-range observation; the first range to produce a key
+// gives the candidate answer and the operation linearizes at that
+// observation. Afterwards the scan re-reads the insert epochs of every
+// range above the answer and retries from scratch if any moved: "no
+// key < y there" can only be invalidated by an insert, and an insert
+// that completes bumps the epoch first, so an unchanged epoch pins the
+// observation (an insert still in flight at validation time is
+// concurrent and legitimately ordered after the query). Erases only
+// remove keys and can never invalidate a no-key observation. A retry
+// happens only when some insert completed — system-wide progress — so
+// the walk is lock-free.
 //
-// successor(y) is the exact mirror image of the predecessor scan: the
-// cross-shard walk goes *upward* from the owner shard s0 = (y+1)/w,
-// validating the insert epochs of every shard visited before the one
-// that answered. The correctness argument is the predecessor one with
-// the direction flipped: "no key > y in shard s" can only be invalidated
-// by an insert, the insert wrapper bumps the shard epoch before
-// returning, so an unchanged epoch pins the observation and a changed
-// one forces a retry (system-wide progress — still lock-free). The
-// per-shard observation is the inner trie's own native successor
-// (core/lockfree_trie.hpp), linearizable against the same abstract state
-// as every other shard-local operation — there is no companion view, no
-// doubled update work, and no two-view consistency caveat: a shard is
-// ONE linearizable object for its whole operation surface, so mixed
-// pred+succ histories compose across shards exactly as the single-
-// direction ones do.
+// A range without an intersecting migration observes its single trie:
+// one linearizable inner predecessor (or the conservative O(1)
+// empty-skip of LockFreeBinaryTrie::size(), a true "empty now"
+// observation). A range WITH one observes the src∪dst union, reading
+// src first and then dst, each probe clamped to the routed range (after
+// merges a trie's universe can exceed its routed width):
+//   - A union observation that yields NO key is exact at the dst read:
+//     dst is exact there, and src had no key earlier and gained none
+//     (insert epochs are re-checked; migration moves keys out of src
+//     only... for a merge, INTO the left trie, which is probed second —
+//     move order again).
+//   - A union observation that yields a CANDIDATE re-reads both shards'
+//     insert AND delete epochs (the erase wrapper bumps del_epoch) and
+//     retries the pair-read if any moved. Unchanged epochs mean no
+//     client update touched the range between the two probes; migration
+//     moves preserve the union; so the union was STATIC across the
+//     pair-read and the max/min of two exact probes of a static set is
+//     exact. (Without the delete check the pair-read is genuinely
+//     unsound: src={5}, dst={7}, y=10 — read src→5, erase 5, erase 7,
+//     read dst→none, answer 5, which was never the predecessor.)
+// Both epoch counters sit next to each other on the shard and cost one
+// fetch_add per update, which is also exactly the per-range load
+// observer maybe_split() consumes.
 //
-// range_scan(lo, hi, limit) walks shards in ascending order, skipping
-// empty ones in O(1), and runs a successor walk inside each occupied
-// shard. The scan is a sequence of linearizable steps, not one atomic
-// operation — the repository-wide weak-consistency contract documented
-// in query/range_scan.hpp (no epoch validation is needed: the contract
-// already permits missing keys inserted behind the cursor).
+// Why a migration cannot START unobserved mid-walk: the whole attempt
+// (all observations + validation) runs under ONE ebr::Guard. A ctl seen
+// as null at observation time means any later-installed migration's
+// first grace wait is blocked behind this guard — no key moves, and no
+// insert can route to an unrecorded dst, until the attempt ends. A ctl
+// seen as non-null contributes BOTH shards' epochs to the validation
+// set. Table republish mid-attempt is equally benign: the old snapshot
+// (alive under the guard) routes every key of its entries to shards
+// whose union views remain exact, because a published ctl stays
+// installed on its source shard until replaced, and completions wait
+// one grace period before the control plane may touch the geometry
+// again (so a guard can overlap at most ONE republish per shard).
 //
-// The shard summary/epoch words are seq_cst: they are touched once per
-// update (next to the dozen CASes the trie update already performs) and
-// once per visited shard in a predecessor, which keeps the memory-order
-// reasoning above uncomplicated at negligible cost.
+// successor(y) is the exact mirror: upward walk, min instead of max,
+// same epoch discipline. range_scan keeps the repository-wide
+// weak-consistency contract (query/range_scan.hpp): per-step
+// linearizable successor probes — a union range merge-walks both tries,
+// deduplicating transiently double-present keys by cursor advance — and
+// no epoch validation, since the contract already permits missing keys
+// inserted behind the cursor.
+//
+// The migration protocol itself — copy-window exclusivity, idempotent
+// per-key moves, seq-CAS takeover/abort, and why the rejected
+// copy-then-redo designs resurrect erased keys — is documented in
+// docs/DESIGN.md "Dynamic resharding".
 #pragma once
 
 #include <algorithm>
 #include <cassert>
 #include <cstddef>
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "core/lockfree_trie.hpp"
+#include "shard/range_map.hpp"
+#include "sync/backoff.hpp"
 #include "sync/cacheline.hpp"
+#include "sync/ebr.hpp"
 
 namespace lfbt {
 
 class ShardedTrie {
  public:
   static constexpr int kDefaultShards = 8;
-  /// Hard cap on the shard count, matched to NodeArena's per-thread
-  /// cursor capacity (kSlotsPerThread = 64): each shard owns exactly one
-  /// arena (the native symmetric successor removed the per-shard mirror
-  /// arenas), and consecutively-created arenas map to distinct
-  /// direct-mapped cursor slots, so with S <= 64 every arena keeps its
-  /// own allocation cursor per thread and no chunk is ever abandoned on
-  /// an arena switch. Shard counts beyond useful hardware parallelism buy
-  /// no contention relief anyway, so requests above the cap are clamped
-  /// (the width grows instead).
-  static constexpr int kMaxShards = 64;
+  /// Hard cap on concurrent ranges, matched to NodeArena's per-thread
+  /// cursor capacity (kSlotsPerThread = 64): each shard owns one arena,
+  /// and with at most 64 live arenas the direct-mapped cursor slots
+  /// rarely collide, so chunks are almost never abandoned on an arena
+  /// switch (and abandoned ones now retire to the ChunkStore anyway).
+  /// Construction requests above the cap are clamped (width grows);
+  /// split() fails once the routing table is full.
+  static constexpr int kMaxShards = reshard::RangeTable::kMaxRanges;
+
+  /// Called by the migrator between batches with the next window's
+  /// first key; return false to abandon the migration (it stays
+  /// resident and a later split()/merge() of the same range adopts and
+  /// finishes it). Tests use blocking pacers to freeze a migration
+  /// mid-flight and takeover pacers to model a crashed splitter.
+  using SplitPacer = std::function<bool(Key next_window_lo)>;
+
+  /// maybe_split() trigger: at least min_ops routed since the last
+  /// policy check, with the hottest range drawing at least `imbalance`
+  /// times its fair share (total / ranges) of them. A single range is
+  /// its own hot spot: only min_ops gates the first split.
+  struct SplitPolicy {
+    uint64_t min_ops = uint64_t{1} << 14;
+    double imbalance = 2.0;
+  };
 
   explicit ShardedTrie(Key universe, int shards = kDefaultShards)
       : u_(universe),
         width_((universe + static_cast<Key>(clamped(shards)) - 1) /
-               static_cast<Key>(clamped(shards))),
-        nshards_(static_cast<int>((universe + width_ - 1) / width_)),
-        shards_(new Shard[static_cast<std::size_t>(nshards_)]) {
+               static_cast<Key>(clamped(shards))) {
     assert(universe >= 1 && shards >= 1);
-    for (int s = 0; s < nshards_; ++s) {
+    assert(universe <= reshard::kMaxUniverse);
+    auto* t = new reshard::RangeTable;
+    t->n = static_cast<int>((universe + width_ - 1) / width_);
+    t->fixed_width = width_;
+    for (int s = 0; s < t->n; ++s) {
       const Key base = static_cast<Key>(s) * width_;
-      const Key local_u = std::min(width_, u_ - base);
-      shards_[s].trie = std::make_unique<LockFreeBinaryTrie>(local_u);
+      auto* sh = new reshard::Shard(base, std::min(width_, u_ - base));
+      t->lo[s] = base;
+      t->shard[s] = sh;
+      shards_.push_back(sh);
     }
+    t->lo[t->n] = u_;
+    table_.store(t, std::memory_order_release);
   }
+
+  /// Requires quiescence, like any container destructor. Snapshots,
+  /// ctls and merge victims retired earlier are freed by EBR on their
+  /// own schedule; everything still live is torn down here.
+  ~ShardedTrie() {
+    delete table_.load(std::memory_order_relaxed);
+    for (auto* s : shards_) delete s;
+  }
+
+  ShardedTrie(const ShardedTrie&) = delete;
+  ShardedTrie& operator=(const ShardedTrie&) = delete;
 
   Key universe() const noexcept { return u_; }
-  int shard_count() const noexcept { return nshards_; }
+  /// Number of ranges in the current routing table.
+  int shard_count() const {
+    ebr::Guard g;
+    return table_.load()->n;
+  }
+  /// Construction-time range width (the pre-split geometry).
   Key shard_width() const noexcept { return width_; }
-  int shard_of(Key x) const noexcept { return static_cast<int>(x / width_); }
+  /// Current routing-table index of x's range.
+  int shard_of(Key x) const {
+    assert(x >= 0 && x < u_);
+    ebr::Guard g;
+    return table_.load()->find(x);
+  }
+  /// [lo, hi) bounds of range i in the current table.
+  std::pair<Key, Key> range_bounds(int i) const {
+    ebr::Guard g;
+    const auto* t = table_.load();
+    assert(i >= 0 && i < t->n);
+    return {t->lo[i], t->lo[i + 1]};
+  }
+  /// Number of published geometry changes (splits + merges) so far.
+  uint64_t reshard_count() const { return reshard_seq_.load(); }
+  /// True while some migration is started but not yet published.
+  bool resharding_in_flight() const {
+    ebr::Guard g;
+    const auto* t = table_.load();
+    for (int i = 0; i < t->n; ++i) {
+      const auto* c = t->shard[i]->ctl.load();
+      if (c != nullptr && !c->published.load()) return true;
+    }
+    return false;
+  }
 
-  /// O(1), routed to the owning shard.
+  /// O(1) (plus one union probe while its range is mid-migration).
   bool contains(Key x) {
     assert(x >= 0 && x < u_);
-    const int s = shard_of(x);
-    return shards_[s].trie->contains(x - base(s));
+    ebr::Guard g;
+    const auto* t = table_.load();
+    reshard::Shard* s = t->shard[t->find(x)];
+    reshard::SplitCtl* c = s->ctl.load();
+    if (c == nullptr || x < c->move_lo) return s->trie->contains(x - s->base);
+    const uint64_t w = c->word.load();
+    const Key wm = reshard::mig_watermark(w);
+    if (x < wm) return c->dst->trie->contains(x - c->dst->base);
+    if (reshard::mig_copy(w) &&
+        x < std::min<Key>(wm + reshard::SplitCtl::kBatch, c->move_hi)) {
+      // Copy window: union read, src BEFORE dst (a key the migrator
+      // moves between the probes enters dst before it leaves src).
+      return s->trie->contains(x - s->base) ||
+             c->dst->trie->contains(x - c->dst->base);
+    }
+    return s->trie->contains(x - s->base);
   }
 
-  /// Routed to the owning shard; bumps the shard's insert epoch after the
-  /// inner insert returns (the validation handshake documented above —
-  /// one bump covers both directions' "no key appeared" observations).
-  void insert(Key x) {
-    assert(x >= 0 && x < u_);
-    const int s = shard_of(x);
-    Shard& sh = shards_[s];
-    sh.trie->insert(x - base(s));
-    sh.ins_epoch.value.fetch_add(1);
-  }
+  /// Routed by the current table (and migration watermark); bumps the
+  /// owning shard's insert epoch after the inner insert returns — the
+  /// validation handshake documented above, and the insert half of the
+  /// load observer. Backs off outside its guard when the key sits in an
+  /// announced copy window.
+  void insert(Key x) { update<true>(x); }
 
-  /// Routed to the owning shard. The inner delete embeds its two
-  /// announcement-side queries as FUSED direction pairs
-  /// (core/lockfree_trie.cpp, query_helper_fused) against the owning
-  /// shard's own P-ALL — sharding and fusion compose multiplicatively
-  /// on the delete constant: 1/S of the announcement traffic, and half
-  /// the announcements within the shard.
-  void erase(Key x) {
-    assert(x >= 0 && x < u_);
-    const int s = shard_of(x);
-    shards_[s].trie->erase(x - base(s));
-  }
+  /// Routed like insert; bumps the owning shard's delete epoch (union
+  /// pair-read staleness check + the erase half of the load observer).
+  /// The inner delete embeds its two announcement-side queries as FUSED
+  /// direction pairs against the owning shard's own P-ALL — sharding
+  /// and fusion compose multiplicatively on the delete constant.
+  void erase(Key x) { update<false>(x); }
 
-  /// Largest key < y, or kNoKey; y in [0, universe()]. Cross-shard scan
+  /// Largest key < y, or kNoKey; y in [0, universe()]. Cross-range scan
   /// with epoch validation — see the header comment for the argument.
   Key predecessor(Key y) {
     assert(y >= 0 && y <= u_);
     if (y <= 0) return kNoKey;
-    const int s0 = static_cast<int>((y - 1) / width_);
-    uint64_t epochs[kMaxShards];
-
     for (;;) {
+      ebr::Guard g;
+      const auto* t = table_.load();
+      const int s0 = t->find(y - 1);
+      RangeObs obs[reshard::RangeTable::kMaxRanges];
       Key ans = kNoKey;
-      int s_ans = -1;
-      for (int s = s0; s >= 0; --s) {
-        Shard& sh = shards_[s];
-        epochs[s] = sh.ins_epoch.value.load();
-        if (sh.trie->empty()) continue;  // O(1) skip; conservative counter
-        const Key local_u = sh.trie->universe();
-        const Key ylocal = s == s0 ? std::min(y - base(s), local_u) : local_u;
-        const Key r = sh.trie->predecessor(ylocal);
+      int i_ans = -1;
+      for (int i = s0; i >= 0; --i) {
+        const Key r = observe<false>(t, i, y, obs[i]);
         if (r != kNoKey) {
-          ans = base(s) + r;
-          s_ans = s;
+          ans = r;
+          i_ans = i;
           break;
         }
       }
-      // Validate every shard above the one that answered (all of them,
-      // above shard 0, when none did). Unchanged epochs pin "no key < y
-      // appeared there" across the answering observation.
+      // Validate every range above the one that answered (all of them,
+      // above range 0, when none did). Unchanged insert epochs pin "no
+      // key < y appeared there" across the answering observation; the
+      // answering observation validated itself (atomic inner op, or the
+      // union pair-read's internal epoch recheck).
       bool valid = true;
-      for (int s = s_ans < 0 ? 1 : s_ans + 1; s <= s0; ++s) {
-        if (shards_[s].ins_epoch.value.load() != epochs[s]) {
-          valid = false;
-          break;
-        }
+      for (int i = i_ans < 0 ? 1 : i_ans + 1; i <= s0 && valid; ++i) {
+        valid = obs[i].unchanged();
       }
       if (valid) return ans;
     }
   }
 
   /// Smallest key > y, or kNoKey; y in [-1, universe()). Upward
-  /// cross-shard scan with epoch validation — the mirror image of
-  /// predecessor (see the header comment for the argument).
+  /// cross-range scan with epoch validation — the mirror image of
+  /// predecessor.
   Key successor(Key y) {
     assert(y >= -1 && y < u_);
     if (y >= u_ - 1) return kNoKey;
-    const int s0 = shard_of(y + 1);
-    uint64_t epochs[kMaxShards];
-
     for (;;) {
+      ebr::Guard g;
+      const auto* t = table_.load();
+      const int s0 = t->find(y + 1);
+      RangeObs obs[reshard::RangeTable::kMaxRanges];
       Key ans = kNoKey;
-      int s_ans = -1;
-      for (int s = s0; s < nshards_; ++s) {
-        Shard& sh = shards_[s];
-        epochs[s] = sh.ins_epoch.value.load();
-        if (sh.trie->empty()) continue;  // O(1) skip; see header
-        const Key ylocal = s == s0 ? y - base(s) : Key{-1};
-        const Key r = sh.trie->successor(ylocal);
+      int i_ans = -1;
+      for (int i = s0; i < t->n; ++i) {
+        const Key r = observe<true>(t, i, y, obs[i]);
         if (r != kNoKey) {
-          ans = base(s) + r;
-          s_ans = s;
+          ans = r;
+          i_ans = i;
           break;
         }
       }
-      // Validate every shard visited before the one that answered (all
-      // but the last, when none did). Unchanged epochs pin "no key > y
-      // appeared there" across the answering observation.
       bool valid = true;
-      const int last = s_ans < 0 ? nshards_ - 2 : s_ans - 1;
-      for (int s = s0; s <= last; ++s) {
-        if (shards_[s].ins_epoch.value.load() != epochs[s]) {
-          valid = false;
-          break;
-        }
+      const int last = i_ans < 0 ? t->n - 2 : i_ans - 1;
+      for (int i = s0; i <= last && valid; ++i) {
+        valid = obs[i].unchanged();
       }
       if (valid) return ans;
     }
   }
 
   /// Ascending keys of S ∩ [lo, hi], at most `limit`, appended to `out`;
-  /// returns the number appended. Walks shards upward with the O(1)
-  /// empty-shard skip and a successor walk inside each occupied shard.
+  /// returns the number appended. Walks ranges upward with the O(1)
+  /// empty-shard skip; a mid-migration range merge-walks src and dst.
   /// Weak-consistency contract of query/range_scan.hpp.
   std::size_t range_scan(Key lo, Key hi, std::size_t limit,
                          std::vector<Key>& out) {
     assert(lo >= 0 && lo < u_ && hi >= lo);
     if (hi >= u_) hi = u_ - 1;
     std::size_t n = 0;
-    for (int s = shard_of(lo); s < nshards_ && n < limit; ++s) {
-      Shard& sh = shards_[s];
-      const Key b = base(s);
-      if (b > hi) break;
-      if (sh.trie->empty()) continue;
-      const Key local_hi = std::min(hi - b, sh.trie->universe() - 1);
-      Key cursor = lo > b ? lo - b - 1 : Key{-1};
+    ebr::Guard g;
+    const auto* t = table_.load();
+    for (int i = t->find(lo); i < t->n && n < limit; ++i) {
+      const Key elo = t->lo[i];
+      const Key ehi = t->lo[i + 1];
+      if (elo > hi) break;
+      reshard::Shard* s = t->shard[i];
+      reshard::SplitCtl* c = s->ctl.load();
+      reshard::Shard* d = (c != nullptr && c->move_lo < ehi) ? c->dst : nullptr;
+      if (d == nullptr && s->trie->empty()) continue;
+      Key cursor = std::max(lo, elo) - 1;  // report keys > cursor
       while (n < limit) {
-        const Key r = sh.trie->successor(cursor);
-        if (r == kNoKey || r > local_hi) break;
-        out.push_back(b + r);
+        const Key ra = range_succ(*s->trie, s->base, elo, ehi, cursor);
+        const Key rb = d != nullptr
+                           ? range_succ(*d->trie, d->base,
+                                        std::max(elo, c->move_lo), ehi, cursor)
+                           : kNoKey;
+        const Key r = ra == kNoKey ? rb
+                                   : (rb == kNoKey ? ra : std::min(ra, rb));
+        if (r == kNoKey || r > hi) break;
+        out.push_back(r);
         ++n;
         cursor = r;
       }
@@ -258,21 +355,166 @@ class ShardedTrie {
     return n;
   }
 
-  /// Sum of per-shard sizes; approximate under concurrency, exact at
-  /// quiescence, never an undercount (each addend is conservative).
-  std::size_t size() const noexcept {
+  /// Sum of per-range sizes (plus in-flight split targets); approximate
+  /// under concurrency, exact at quiescence, never an undercount (each
+  /// addend is conservative, and a mid-move key counts at most twice).
+  std::size_t size() const {
+    ebr::Guard g;
+    const auto* t = table_.load();
     std::size_t n = 0;
-    for (int s = 0; s < nshards_; ++s) n += shards_[s].trie->size();
-    return n;
-  }
-  bool empty() const noexcept { return size() == 0; }
-
-  std::size_t memory_reserved() const noexcept {
-    std::size_t n = 0;
-    for (int s = 0; s < nshards_; ++s) {
-      n += shards_[s].trie->memory_reserved();
+    for (int i = 0; i < t->n; ++i) {
+      reshard::Shard* s = t->shard[i];
+      n += s->trie->size();
+      const reshard::SplitCtl* c = s->ctl.load();
+      // An unpublished split's dst is not in the table yet; count it.
+      // (A merge's dst is the left entry's shard — already counted.)
+      if (c != nullptr && !c->merge && c->move_lo < t->lo[i + 1]) {
+        n += c->dst->trie->size();
+      }
     }
     return n;
+  }
+  bool empty() const { return size() == 0; }
+
+  /// Arena bytes across every live shard, including unpublished split
+  /// targets and not-yet-reclaimed merge victims still in the live set.
+  std::size_t memory_reserved() const {
+    std::lock_guard<std::mutex> lk(ctl_mu_);
+    std::size_t n = 0;
+    for (const auto* s : shards_) n += s->trie->memory_reserved();
+    return n;
+  }
+
+  // -------------------------------------------------------------------
+  // Resharding control plane. Serialized on ctl_mu_ for geometry
+  // decisions; the migration itself (the long part) runs outside the
+  // mutex, so concurrent migrations of DIFFERENT ranges proceed in
+  // parallel and a second caller on the SAME range joins as a takeover.
+  // -------------------------------------------------------------------
+
+  /// Splits range `i` of the current table at its midpoint, migrating
+  /// the top half to a fresh shard, and publishes the new geometry.
+  /// Returns true once the split is published (by us, or by a prior
+  /// owner we joined). Returns false if the range cannot split (width
+  /// 1, table full, the shard is busy merging) or the pacer abandoned
+  /// the migration. If the range already has a split in flight, the
+  /// call TAKES OVER: it bumps the owner seq, waits one grace period
+  /// for the old owner's in-flight key move to drain, and finishes the
+  /// migration — the recovery path for a paused or crashed splitter.
+  bool split(int i, const SplitPacer& pacer = {}) {
+    reshard::SplitCtl* c = nullptr;
+    {
+      std::lock_guard<std::mutex> lk(ctl_mu_);
+      const auto* t = table_.load(std::memory_order_relaxed);
+      if (i < 0 || i >= t->n) return false;
+      reshard::Shard* s = t->shard[i];
+      reshard::SplitCtl* cur = s->ctl.load(std::memory_order_relaxed);
+      if (cur != nullptr && !cur->published.load(std::memory_order_relaxed)) {
+        if (cur->merge) return false;  // this range is being merged away
+        c = cur;                       // adopt the in-flight split
+      } else {
+        const Key lo = t->lo[i];
+        const Key hi = t->lo[i + 1];
+        if (hi - lo < 2) return false;
+        if (t->n >= reshard::RangeTable::kMaxRanges) return false;
+        if (s->busy) return false;  // dst of a migration completing now
+        const Key mid = lo + (hi - lo) / 2;
+        auto* d = new reshard::Shard(mid, hi - mid);
+        c = new reshard::SplitCtl(mid, hi, s, d, /*merge=*/false);
+        install_ctl(s, c);
+        s->busy = d->busy = true;
+        shards_.push_back(d);
+      }
+      ++c->owners;
+    }
+    const uint32_t myseq = seize(c);
+    const bool drained = run_migration(c, myseq, pacer);
+    if (drained) publish(c);
+    release_ctl(c);
+    return drained;
+  }
+
+  /// Merges range `i+1` back into range `i` (the left neighbour must be
+  /// able to host the combined range — true for any split-derived
+  /// pair), draining the right shard and retiring it at publication.
+  /// Join/takeover/abandon semantics mirror split().
+  bool merge(int i, const SplitPacer& pacer = {}) {
+    reshard::SplitCtl* c = nullptr;
+    {
+      std::lock_guard<std::mutex> lk(ctl_mu_);
+      const auto* t = table_.load(std::memory_order_relaxed);
+      if (i < 0 || i + 1 >= t->n) return false;
+      reshard::Shard* l = t->shard[i];
+      reshard::Shard* r = t->shard[i + 1];
+      const Key mid = t->lo[i + 1];
+      const Key hi = t->lo[i + 2];
+      reshard::SplitCtl* cur = r->ctl.load(std::memory_order_relaxed);
+      if (cur != nullptr && !cur->published.load(std::memory_order_relaxed)) {
+        if (!cur->merge || cur->dst != l) return false;
+        c = cur;  // adopt the in-flight merge
+      } else {
+        if (l->busy || r->busy) return false;
+        if (hi - l->base > l->trie->universe()) return false;
+        // The left shard's entry is about to widen over [mid, hi); a
+        // stale published ctl on it would alias that range to a dead
+        // dst once the widened entry stops skipping it. Clear it now —
+        // readers of the current table only ever skip it anyway.
+        reshard::SplitCtl* stale =
+            l->ctl.exchange(nullptr, std::memory_order_acq_rel);
+        if (stale != nullptr) discard_ctl(stale);
+        c = new reshard::SplitCtl(mid, hi, r, l, /*merge=*/true);
+        install_ctl(r, c);
+        l->busy = r->busy = true;
+      }
+      ++c->owners;
+    }
+    const uint32_t myseq = seize(c);
+    const bool drained = run_migration(c, myseq, pacer);
+    if (drained) publish(c);
+    release_ctl(c);
+    return drained;
+  }
+
+  /// Load-observer policy hook: if a policy window has elapsed
+  /// (pol.min_ops routed since the last check) and some range is hot
+  /// (see SplitPolicy), split it and return its index; otherwise return
+  /// -1. Call it from wherever fits the deployment — a maintenance
+  /// thread, every Nth op, the bench harness.
+  int maybe_split() { return maybe_split(SplitPolicy{}); }
+  int maybe_split(const SplitPolicy& pol) {
+    int target = -1;
+    {
+      std::lock_guard<std::mutex> lk(ctl_mu_);
+      const auto* t = table_.load(std::memory_order_relaxed);
+      uint64_t total = 0;
+      uint64_t best = 0;
+      uint64_t now[reshard::RangeTable::kMaxRanges];
+      int besti = -1;
+      for (int i = 0; i < t->n; ++i) {
+        now[i] = t->shard[i]->load();
+        const uint64_t delta = now[i] - t->shard[i]->load_snap;
+        total += delta;
+        if (delta > best) {
+          best = delta;
+          besti = i;
+        }
+      }
+      if (total < pol.min_ops) return -1;
+      // Window consumed: reset the per-shard snapshots either way.
+      for (int i = 0; i < t->n; ++i) t->shard[i]->load_snap = now[i];
+      const double fair = static_cast<double>(total) / t->n;
+      const bool hot =
+          t->n == 1 || static_cast<double>(best) >= pol.imbalance * fair;
+      if (besti >= 0 && hot && t->lo[besti + 1] - t->lo[besti] >= 2 &&
+          t->n < reshard::RangeTable::kMaxRanges && !t->shard[besti]->busy) {
+        const auto* cc = t->shard[besti]->ctl.load(std::memory_order_relaxed);
+        if (cc == nullptr || cc->published.load(std::memory_order_relaxed)) {
+          target = besti;
+        }
+      }
+    }
+    if (target < 0) return -1;
+    return split(target) ? target : -1;
   }
 
  private:
@@ -280,19 +522,307 @@ class ShardedTrie {
     return shards < 1 ? 1 : (shards > kMaxShards ? kMaxShards : shards);
   }
 
-  // Cache-line-aligned so no two shards' epoch words (or the trie
-  // pointers read on every routed op) share a line.
-  struct alignas(kCacheLine) Shard {
-    std::unique_ptr<LockFreeBinaryTrie> trie;  // both query directions
-    PaddedAtomic<uint64_t> ins_epoch;
+  // ---- data plane -----------------------------------------------------
+
+  template <bool IsInsert>
+  void update(Key x) {
+    assert(x >= 0 && x < u_);
+    Backoff bo;
+    for (;;) {
+      {
+        ebr::Guard g;
+        const auto* t = table_.load();
+        reshard::Shard* s = t->shard[t->find(x)];
+        reshard::Shard* owner = s;
+        reshard::SplitCtl* c = s->ctl.load();
+        if (c != nullptr && x >= c->move_lo) {
+          const uint64_t w = c->word.load();
+          const Key wm = reshard::mig_watermark(w);
+          if (x < wm) {
+            owner = c->dst;
+          } else if (reshard::mig_copy(w) &&
+                     x < std::min<Key>(wm + reshard::SplitCtl::kBatch,
+                                       c->move_hi)) {
+            owner = nullptr;  // exclusive copy window: back off, re-route
+          }
+        }
+        if (owner != nullptr) {
+          if constexpr (IsInsert) {
+            owner->trie->insert(x - owner->base);
+            owner->ins_epoch.value.fetch_add(1);
+          } else {
+            owner->trie->erase(x - owner->base);
+            owner->del_epoch.value.fetch_add(1);
+          }
+          return;
+        }
+      }
+      // Guard dropped: the migrator's grace wait (and hence the window
+      // settle that will unblock us) can proceed.
+      bo();
+    }
+  }
+
+  /// Largest present key of `trie` within [rlo, rhi) ∩ [0, y), global
+  /// coordinates, or kNoKey. Clamps the probe to the routed range.
+  static Key range_pred(LockFreeBinaryTrie& trie, Key base, Key rlo, Key rhi,
+                        Key y) {
+    const Key top = std::min(rhi, y);  // exclusive upper bound
+    if (top <= rlo) return kNoKey;
+    Key ylocal = top - base;
+    const Key lu = trie.universe();
+    if (ylocal > lu) ylocal = lu;
+    if (ylocal <= 0) return kNoKey;
+    const Key r = trie.predecessor(ylocal);
+    if (r == kNoKey) return kNoKey;
+    const Key gkey = base + r;
+    return gkey >= rlo ? gkey : kNoKey;
+  }
+
+  /// Smallest present key of `trie` within [rlo, rhi) ∩ (y, ∞), global
+  /// coordinates, or kNoKey.
+  static Key range_succ(LockFreeBinaryTrie& trie, Key base, Key rlo, Key rhi,
+                        Key y) {
+    const Key bot = std::max(rlo, y + 1);  // inclusive lower bound
+    if (bot >= rhi) return kNoKey;
+    Key ylocal = bot - 1 - base;
+    const Key lu = trie.universe();
+    if (ylocal < -1) ylocal = -1;
+    if (ylocal >= lu - 1) return kNoKey;
+    const Key r = trie.successor(ylocal);
+    if (r == kNoKey) return kNoKey;
+    const Key gkey = base + r;
+    return gkey < rhi ? gkey : kNoKey;
+  }
+
+  /// Epochs a cross-range walk recorded for one range; unchanged()
+  /// re-reads them during validation.
+  struct RangeObs {
+    reshard::Shard* a = nullptr;
+    reshard::Shard* b = nullptr;  // migration dst overlapping the entry
+    uint64_t ea = 0;
+    uint64_t eb = 0;
+    bool unchanged() const {
+      if (a->ins_epoch.value.load() != ea) return false;
+      return b == nullptr || b->ins_epoch.value.load() == eb;
+    }
   };
 
-  Key base(int s) const noexcept { return static_cast<Key>(s) * width_; }
+  /// One per-range observation of entry i: the directional extremum of
+  /// the range's key set strictly below (Upward=false) or above
+  /// (Upward=true) y, or kNoKey. Fills `obs` for the caller's
+  /// validation pass; union pair-reads self-validate (see header).
+  template <bool Upward>
+  Key observe(const reshard::RangeTable* t, int i, Key y, RangeObs& obs) {
+    const Key elo = t->lo[i];
+    const Key ehi = t->lo[i + 1];
+    reshard::Shard* s = t->shard[i];
+    obs.a = s;
+    reshard::SplitCtl* c = s->ctl.load();
+    if (c == nullptr || c->move_lo >= ehi) {
+      // No migration intersects this entry (a published split's moved
+      // range starts exactly at the shrunk entry's upper bound).
+      obs.b = nullptr;
+      obs.ea = s->ins_epoch.value.load();
+      if (s->trie->empty()) return kNoKey;
+      return Upward ? range_succ(*s->trie, s->base, elo, ehi, y)
+                    : range_pred(*s->trie, s->base, elo, ehi, y);
+    }
+    reshard::Shard* d = c->dst;
+    obs.b = d;
+    const Key dlo = std::max(elo, c->move_lo);
+    for (;;) {
+      obs.ea = s->ins_epoch.value.load();
+      obs.eb = d->ins_epoch.value.load();
+      const uint64_t da = s->del_epoch.value.load();
+      const uint64_t db = d->del_epoch.value.load();
+      // src first, then dst: migration inserts into dst before erasing
+      // from src, so a key present throughout is seen by some probe.
+      Key ans;
+      if constexpr (Upward) {
+        const Key ra = range_succ(*s->trie, s->base, elo, ehi, y);
+        const Key rb = range_succ(*d->trie, d->base, dlo, ehi, y);
+        ans = ra == kNoKey ? rb : (rb == kNoKey ? ra : std::min(ra, rb));
+      } else {
+        const Key ra = range_pred(*s->trie, s->base, elo, ehi, y);
+        const Key rb = range_pred(*d->trie, d->base, dlo, ehi, y);
+        ans = std::max(ra, rb);  // kNoKey == -1 orders below real keys
+      }
+      // Clean pair-read: no client update landed in the range between
+      // the probes, and migration moves preserve the union, so the
+      // union was static and the extremum is exact. A dirty one means
+      // some client op completed — progress — so this stays lock-free.
+      if (obs.ea == s->ins_epoch.value.load() &&
+          obs.eb == d->ins_epoch.value.load() &&
+          da == s->del_epoch.value.load() &&
+          db == d->del_epoch.value.load()) {
+        return ans;
+      }
+    }
+  }
+
+  // ---- migration machinery (control plane) ----------------------------
+
+  /// Retires a ctl that has just been unlinked from its shard — now, if
+  /// no split()/merge() caller still holds the pointer, or at the last
+  /// release otherwise. ctl_mu_ must be held.
+  static void discard_ctl(reshard::SplitCtl* old) {
+    if (old->owners == 0) {
+      ebr::retire(old);
+    } else {
+      old->replaced = true;
+    }
+  }
+
+  /// Installs c on s, displacing any previous (published) ctl. ctl_mu_
+  /// must be held.
+  static void install_ctl(reshard::Shard* s, reshard::SplitCtl* c) {
+    reshard::SplitCtl* old = s->ctl.exchange(c, std::memory_order_acq_rel);
+    if (old != nullptr) discard_ctl(old);
+  }
+
+  /// Drops one control-plane reference to c. The last release performs
+  /// the deferred cleanup: retiring a displaced ctl, or retiring a
+  /// published merge's victim shard (whose destructor owns the ctl) —
+  /// deferred to here because an attached caller may still read c->word
+  /// outside any guard, and a retired victim would free c under it.
+  void release_ctl(reshard::SplitCtl* c) {
+    reshard::SplitCtl* doomed = nullptr;
+    reshard::Shard* victim = nullptr;
+    {
+      std::lock_guard<std::mutex> lk(ctl_mu_);
+      if (--c->owners == 0) {
+        if (c->replaced) {
+          doomed = c;
+        } else if (c->merge && c->published.load(std::memory_order_relaxed)) {
+          victim = c->src;
+        }
+      }
+    }
+    if (doomed != nullptr) ebr::retire(doomed);
+    if (victim != nullptr) ebr::retire(victim);
+  }
+
+  /// Become c's owner: bump the seq so the previous owner's next
+  /// per-key check fails, then wait one grace period so its in-flight
+  /// key move (running under a guard) drains. Fresh ctls pay one cheap
+  /// no-contention grace wait for the uniformity.
+  static uint32_t seize(reshard::SplitCtl* c) {
+    uint64_t w = c->word.load();
+    for (;;) {
+      const uint32_t myseq = reshard::mig_seq(w) + 1;
+      const uint64_t nw = reshard::pack_mig(myseq, reshard::mig_copy(w),
+                                            reshard::mig_watermark(w));
+      if (c->word.compare_exchange_weak(w, nw)) {
+        ebr::synchronize();
+        return myseq;
+      }
+    }
+  }
+
+  /// Drive c forward while owning seq `myseq`. Returns true when the
+  /// moved range is fully drained; false on takeover (seq moved) or
+  /// abandonment (pacer returned false).
+  bool run_migration(reshard::SplitCtl* c, uint32_t myseq,
+                     const SplitPacer& pacer) {
+    const Key src_off = c->src->base;
+    const Key dst_off = c->dst->base;
+    for (;;) {
+      uint64_t w = c->word.load();
+      if (reshard::mig_seq(w) != myseq) return false;
+      const Key wm = reshard::mig_watermark(w);
+      if (!reshard::mig_copy(w)) {
+        if (wm >= c->move_hi) return true;  // drained
+        if (pacer && !pacer(wm)) return false;
+        // Announce the window, then wait one grace period: every client
+        // op routed before the announce has finished, so this thread is
+        // the only writer of window keys during the copy.
+        if (!c->word.compare_exchange_strong(
+                w, reshard::pack_mig(myseq, true, wm))) {
+          continue;  // takeover raced the announce
+        }
+        ebr::synchronize();
+      }
+      // Copy phase for [wm, win_end): move each present key with the
+      // idempotent insert-to-new / erase-from-old pair. Every move runs
+      // under a fresh guard and re-checks ownership, so a successor's
+      // seize() grace wait flushes at most this one half-moved key.
+      const Key win_end =
+          std::min<Key>(wm + reshard::SplitCtl::kBatch, c->move_hi);
+      Key cur = wm - 1 - src_off;
+      for (;;) {
+        ebr::Guard g;
+        if (reshard::mig_seq(c->word.load()) != myseq) return false;
+        const Key r = c->src->trie->successor(cur);
+        if (r == kNoKey || src_off + r >= win_end) break;
+        c->dst->trie->insert(src_off + r - dst_off);
+        c->src->trie->erase(r);
+        cur = r;
+      }
+      // Settle the window; the CAS can only fail on a takeover, which
+      // the next loop iteration detects.
+      uint64_t expect = reshard::pack_mig(myseq, true, wm);
+      c->word.compare_exchange_strong(
+          expect, reshard::pack_mig(myseq, false, win_end));
+    }
+  }
+
+  /// Publish c's completed migration: republish the routing table,
+  /// then hold the involved shards' busy flags across one more grace
+  /// period so no guard can span this republish AND observe a
+  /// subsequent migration on the same shards (the header's "at most one
+  /// republish per shard per guard" invariant).
+  void publish(reshard::SplitCtl* c) {
+    reshard::Shard* src = c->src;
+    reshard::Shard* dst = c->dst;
+    const bool is_merge = c->merge;
+    {
+      std::lock_guard<std::mutex> lk(ctl_mu_);
+      if (c->published.load(std::memory_order_relaxed)) return;  // raced
+      c->published.store(true, std::memory_order_relaxed);
+      const auto* t = table_.load(std::memory_order_relaxed);
+      auto* nt = new reshard::RangeTable;
+      nt->fixed_width = 0;
+      int m = 0;
+      for (int j = 0; j < t->n; ++j) {
+        if (t->shard[j] == src && is_merge) continue;  // victim entry
+        nt->lo[m] = t->lo[j];
+        nt->shard[m] = t->shard[j];
+        ++m;
+        if (t->shard[j] == src && !is_merge) {
+          nt->lo[m] = c->move_lo;  // the new shard takes the top half
+          nt->shard[m] = dst;
+          ++m;
+        }
+      }
+      nt->n = m;
+      nt->lo[m] = u_;
+      table_.store(nt);
+      reshard_seq_.fetch_add(1);
+      ebr::retire(const_cast<reshard::RangeTable*>(t));
+      if (is_merge) {
+        shards_.erase(std::find(shards_.begin(), shards_.end(), src));
+      }
+    }
+    ebr::synchronize();
+    {
+      std::lock_guard<std::mutex> lk(ctl_mu_);
+      if (!is_merge) src->busy = false;
+      dst->busy = false;
+    }
+    // A merge's victim shard is NOT retired here: it (and the ctl its
+    // destructor owns) must outlive both every guard that still routes
+    // through the retired table snapshot (EBR grace handles that) and
+    // every control-plane caller still attached to the ctl — so the
+    // retire happens at the last release_ctl().
+  }
 
   const Key u_;
   const Key width_;
-  const int nshards_;
-  std::unique_ptr<Shard[]> shards_;
+  std::atomic<reshard::RangeTable*> table_{nullptr};
+  std::atomic<uint64_t> reshard_seq_{0};
+  mutable std::mutex ctl_mu_;
+  std::vector<reshard::Shard*> shards_;  // all live shards (under ctl_mu_)
 };
 
 }  // namespace lfbt

@@ -98,6 +98,24 @@ class SingleWriterOracle {
     out.push_back(q);
   }
 
+  /// Membership reader: answer is 1/0. Together with the directional
+  /// queries this gives split-aware coverage of the whole read surface:
+  /// the single-writer premise survives a CONCURRENT SPLITTER, because
+  /// migration moves keys between backing tries without ever changing
+  /// the abstract set — the oracle's state timeline stays exact while a
+  /// split (or takeover, or abandoned migration) is in flight.
+  template <class Set>
+  static void reader_contains_query(Set& set, Key y, HistoryClock& clock,
+                                    std::vector<Query>& out) {
+    Query q;
+    q.t1 = clock.tick();
+    q.y = y;
+    q.answer = set.contains(y) ? 1 : 0;
+    q.t2 = clock.tick();
+    q.kind = OpKind::kContains;
+    out.push_back(q);
+  }
+
   /// Post-join validation. Returns the index of the first invalid query,
   /// or -1 if all are consistent with some overlapping version.
   std::ptrdiff_t validate(const std::vector<Query>& queries) const {
@@ -114,9 +132,12 @@ class SingleWriterOracle {
       const uint64_t live_until =
           j + 1 < versions_.size() ? versions_[j + 1].res : ~uint64_t{0};
       if (live_from >= q.t2 || q.t1 >= live_until) continue;
-      const Key expect = q.kind == OpKind::kSuccessor
-                             ? bitmask_successor(versions_[j].state, q.y)
-                             : bitmask_predecessor(versions_[j].state, q.y);
+      const Key expect =
+          q.kind == OpKind::kContains
+              ? static_cast<Key>((versions_[j].state >> q.y) & 1)
+              : (q.kind == OpKind::kSuccessor
+                     ? bitmask_successor(versions_[j].state, q.y)
+                     : bitmask_predecessor(versions_[j].state, q.y));
       if (expect == q.answer) return true;
     }
     return false;

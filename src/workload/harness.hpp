@@ -27,6 +27,11 @@ struct BenchConfig {
   OpMix mix = kBalanced;
   double zipf_theta = 0.0;     // 0 => uniform
   Key cluster_width = 0;     // >0 => clustered overrides zipf
+  // >0 => flash-crowd traffic (overrides cluster/zipf): a hot window of
+  // `flash_width` keys that jumps to a new location every
+  // `flash_period` samples per stream (see FlashCrowdDist).
+  Key flash_width = 0;
+  uint64_t flash_period = uint64_t{1} << 16;
   double prefill_fraction = 0.5;  // fraction of universe... see prefill()
   uint64_t prefill_keys = 0;      // explicit count; 0 => derive
   uint64_t seed = 42;
@@ -58,6 +63,10 @@ struct BenchResult {
 };
 
 inline std::unique_ptr<KeyDistribution> make_distribution(const BenchConfig& cfg) {
+  if (cfg.flash_width > 0) {
+    return std::make_unique<FlashCrowdDist>(cfg.universe, cfg.flash_width,
+                                            cfg.flash_period);
+  }
   if (cfg.cluster_width > 0) {
     return std::make_unique<ClusteredDist>(cfg.universe, cfg.cluster_width);
   }

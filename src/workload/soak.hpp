@@ -18,6 +18,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <thread>
 #include <vector>
 
 #include "workload/harness.hpp"
@@ -40,6 +42,12 @@ struct SoakConfig {
   OpMix mix = kUpdateHeavy;
   uint64_t seed = 7;
   int shards = 0;  // passed through to sharded structures
+  // Optional per-window disturbance, run on its own thread CONCURRENTLY
+  // with the window's workload (called with the window index). The E14
+  // resharding soak uses this to drive split/merge churn while clients
+  // hammer the structure; the flatness predicate then covers the
+  // control plane's allocations (tables, ctl blocks, shard arenas) too.
+  std::function<void(int window)> disturbance;
 };
 
 /// Total pooled bytes across every memory class.
@@ -74,7 +82,12 @@ std::vector<SoakWindowSample> churn_soak(Set& set, const SoakConfig& cfg) {
     bc.mix = cfg.mix;
     bc.seed = cfg.seed + static_cast<uint64_t>(w) * 0x9e3779b9ull;
     bc.shards = cfg.shards;
+    std::thread disturber;
+    if (cfg.disturbance) {
+      disturber = std::thread([&cfg, w] { cfg.disturbance(w); });
+    }
     const BenchResult r = run_bench(set, bc);
+    if (disturber.joinable()) disturber.join();
     SoakWindowSample s;
     s.window = w;
     s.ops = r.total_ops;

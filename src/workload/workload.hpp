@@ -111,7 +111,18 @@ class OpStream {
     Op op{kind, dist_->sample(rng_), 0, 0};
     if (kind == OpKind::kRangeScan) {
       const Key last = dist_->range() - 1;
-      op.hi = op.key > last - scan_span_ + 1 ? last : op.key + scan_span_ - 1;
+      // Skew-correlated span: a second sample from the same distribution
+      // sets the window width, so dense hot regions draw narrow windows
+      // and the sparse tail draws wide ones — real services scan "around
+      // here", and "here" is distributed like the keys themselves (the
+      // E10 fixed-width windows are retired with this). Spans stay in
+      // [1, scan_span]: scan_span remains the hard ceiling callers and
+      // tests rely on, and a uniform distribution degrades to uniform
+      // span widths over that interval.
+      const Key k2 = dist_->sample(rng_);
+      const Key delta = k2 > op.key ? k2 - op.key : op.key - k2;
+      const Key span = 1 + delta % scan_span_;
+      op.hi = op.key > last - span + 1 ? last : op.key + span - 1;
       op.limit = scan_limit_;
     }
     return op;
