@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "query/range_scan.hpp"
 #include "sync/ebr.hpp"
 
 namespace lfbt {
@@ -69,6 +70,18 @@ class CowUniversalSet {
       ++it;
     }
     return n;
+  }
+
+  /// Snapshot scan through the uniform validated surface: atomic by
+  /// construction, never retries.
+  ScanResult range_scan_validated(Key lo, Key hi, std::size_t limit,
+                                  std::vector<Key>& out,
+                                  uint32_t /*max_retries*/ = 0) {
+    ScanResult r;
+    r.n = range_scan(lo, hi, limit, out);
+    r.atomic = true;
+    Stats::count_scan_atomic();
+    return r;
   }
 
  private:

@@ -46,6 +46,14 @@ class CoarseLockTrie {
     std::lock_guard lock(mu_);
     return trie_.range_scan(lo, hi, limit, out);
   }
+  /// Same lock-held walk through the uniform validated surface: always
+  /// atomic, never retries.
+  ScanResult range_scan_validated(Key lo, Key hi, std::size_t limit,
+                                  std::vector<Key>& out,
+                                  uint32_t /*max_retries*/ = 0) {
+    std::lock_guard lock(mu_);
+    return trie_.range_scan_validated(lo, hi, limit, out);
+  }
   Key universe() const noexcept { return trie_.universe(); }
 
  private:
@@ -85,6 +93,14 @@ class RwLockTrie {
                          std::vector<Key>& out) {
     std::shared_lock lock(mu_);
     return trie_.range_scan(lo, hi, limit, out);
+  }
+  /// Shared-lock scan through the uniform validated surface: atomic,
+  /// never retries.
+  ScanResult range_scan_validated(Key lo, Key hi, std::size_t limit,
+                                  std::vector<Key>& out,
+                                  uint32_t /*max_retries*/ = 0) {
+    std::shared_lock lock(mu_);
+    return trie_.range_scan_validated(lo, hi, limit, out);
   }
   Key universe() const noexcept { return trie_.universe(); }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "query/range_scan.hpp"
 
 namespace lfbt {
 
@@ -150,6 +151,18 @@ class SeqBinaryTrie {
       k = successor(k);
     }
     return n;
+  }
+
+  /// Sequential structure: every scan is trivially a single-state
+  /// observation. Uniform validated-scan surface, never retries.
+  ScanResult range_scan_validated(Key lo, Key hi, std::size_t limit,
+                                  std::vector<Key>& out,
+                                  uint32_t /*max_retries*/ = 0) const {
+    ScanResult r;
+    r.n = range_scan(lo, hi, limit, out);
+    r.atomic = true;
+    Stats::count_scan_atomic();
+    return r;
   }
 
  private:

@@ -12,6 +12,14 @@
 // read). The sum augmentation gives O(1) size() and O(log u) rank/select,
 // the operations [27] uses to motivate augmentation.
 //
+// The version-node substrate (vsn::VNode, the walkers, and the
+// RecyclePool that bounds footprint under update churn) lives in
+// query/snapshot_view.hpp, shared with SnapshotView — the O(1)
+// read-transaction facade snapshot() returns: the root read plus the
+// ebr::Guard that pins it, packaged as an object, so callers compose
+// arbitrarily many reads against one frozen state and release the pin
+// when done (lifetime/threading contract in that header).
+//
 // Trade-off vs the paper's lock-free trie: every update allocates and
 // CASes one global word, so update throughput collapses under write
 // contention — exactly the behaviour E1 measures against.
@@ -21,9 +29,11 @@
 #include <bit>
 #include <cassert>
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "core/types.hpp"
+#include "query/snapshot_view.hpp"
 #include "sync/ebr.hpp"
 
 namespace lfbt {
@@ -35,6 +45,12 @@ class VersionedTrie {
         b_(static_cast<uint32_t>(std::bit_width(
             static_cast<uint64_t>(universe < 2 ? 2 : universe) - 1))) {}
 
+  /// Requires quiescence, like any container destructor. Live version
+  /// nodes are handed back to the pool through EBR, so they rejoin the
+  /// free list only after every guard — including any still-unreleased
+  /// SnapshotView's — has drained; a stale view never touches recycled
+  /// memory (immortal slabs), though reading it past this point is
+  /// still a contract violation.
   ~VersionedTrie() {
     release(root_.load(std::memory_order_relaxed));
   }
@@ -44,9 +60,9 @@ class VersionedTrie {
   bool contains(Key x) const {
     assert(x >= 0 && x < u_);
     ebr::Guard guard;
-    const VNode* v = root_.load(std::memory_order_acquire);
+    const vsn::VNode* v = root_.load(std::memory_order_acquire);
     for (uint32_t lvl = b_; v != nullptr && lvl > 0; --lvl) {
-      v = bit_at(x, lvl - 1) ? v->right : v->left;
+      v = vsn::bit_at(x, lvl - 1) ? v->right : v->left;
     }
     return v != nullptr;
   }
@@ -54,10 +70,20 @@ class VersionedTrie {
   void insert(Key x) { update(x, /*add=*/true); }
   void erase(Key x) { update(x, /*add=*/false); }
 
+  /// O(1) read-transaction: acquire the pin, read the root, done. Every
+  /// query on the returned view observes the state frozen here. The
+  /// view must be queried/released on THIS thread (see
+  /// query/snapshot_view.hpp for the full contract).
+  SnapshotView snapshot() const {
+    auto pin = std::make_unique<ebr::Guard>();
+    const vsn::VNode* root = root_.load(std::memory_order_acquire);
+    return SnapshotView(std::move(pin), root, u_, b_);
+  }
+
   /// Number of keys in the set — O(1), the headline augmented query.
   std::size_t size() const {
     ebr::Guard guard;
-    const VNode* v = root_.load(std::memory_order_acquire);
+    const vsn::VNode* v = root_.load(std::memory_order_acquire);
     return v == nullptr ? 0 : v->sum;
   }
 
@@ -65,13 +91,13 @@ class VersionedTrie {
   std::size_t rank(Key y) const {
     assert(y >= 0 && y <= u_);
     ebr::Guard guard;
-    return rank_in(root_.load(std::memory_order_acquire), y);
+    return vsn::rank_in(root_.load(std::memory_order_acquire), y, b_);
   }
 
   /// i-th smallest key (0-based), or kNoKey if i >= size().
   Key select(std::size_t i) const {
     ebr::Guard guard;
-    return select_in(root_.load(std::memory_order_acquire), i);
+    return vsn::select_in(root_.load(std::memory_order_acquire), i, b_);
   }
 
   /// Largest key < y, or kNoKey. rank and select must run against the
@@ -82,18 +108,18 @@ class VersionedTrie {
   Key predecessor(Key y) const {
     assert(y >= 0 && y <= u_);
     ebr::Guard guard;
-    const VNode* v = root_.load(std::memory_order_acquire);
-    std::size_t r = rank_in(v, y);
-    return r == 0 ? kNoKey : select_in(v, r - 1);
+    const vsn::VNode* v = root_.load(std::memory_order_acquire);
+    std::size_t r = vsn::rank_in(v, y, b_);
+    return r == 0 ? kNoKey : vsn::select_in(v, r - 1, b_);
   }
 
   /// Smallest key > y, or kNoKey. Same single-snapshot discipline.
   Key successor(Key y) const {
     assert(y >= -1 && y < u_);
     ebr::Guard guard;
-    const VNode* v = root_.load(std::memory_order_acquire);
-    std::size_t r = y < 0 ? 0 : rank_in(v, y + 1);
-    return select_in(v, r);
+    const vsn::VNode* v = root_.load(std::memory_order_acquire);
+    std::size_t r = y < 0 ? 0 : vsn::rank_in(v, y + 1, b_);
+    return vsn::select_in(v, r, b_);
   }
 
   /// Ascending keys of S ∩ [lo, hi], at most `limit`, appended to `out`.
@@ -106,95 +132,41 @@ class VersionedTrie {
     assert(lo >= 0 && lo < u_ && hi >= lo);
     if (hi >= u_) hi = u_ - 1;
     ebr::Guard guard;
-    const VNode* v = root_.load(std::memory_order_acquire);
+    const vsn::VNode* v = root_.load(std::memory_order_acquire);
     std::size_t n = 0;
-    collect(v, b_, 0, lo, hi, limit, n, out);
+    vsn::collect(v, b_, 0, lo, hi, limit, n, out);
     return n;
   }
 
- private:
-  struct VNode {
-    std::size_t sum;
-    const VNode* left;
-    const VNode* right;
-  };
-
-  static bool bit_at(Key x, uint32_t bit) noexcept {
-    return (static_cast<uint64_t>(x) >> bit) & 1;
-  }
-
-  /// rank against a pinned version (caller holds the guard).
-  std::size_t rank_in(const VNode* v, Key y) const {
-    // y at or beyond the padded key space: every key counts.
-    if (static_cast<uint64_t>(y) >= (uint64_t{1} << b_)) {
-      return v == nullptr ? 0 : v->sum;
-    }
-    std::size_t r = 0;
-    for (uint32_t lvl = b_; v != nullptr && lvl > 0; --lvl) {
-      if (bit_at(y, lvl - 1)) {
-        if (v->left != nullptr) r += v->left->sum;
-        v = v->right;
-      } else {
-        v = v->left;
-      }
-    }
+  /// Atomic by construction — the snapshot walk above, reported through
+  /// the uniform validated-scan surface (never retries).
+  ScanResult range_scan_validated(Key lo, Key hi, std::size_t limit,
+                                  std::vector<Key>& out,
+                                  uint32_t /*max_retries*/ = 0) const {
+    ScanResult r;
+    r.n = range_scan(lo, hi, limit, out);
+    r.atomic = true;
+    Stats::count_scan_atomic();
     return r;
   }
 
-  /// select against a pinned version (caller holds the guard).
-  Key select_in(const VNode* v, std::size_t i) const {
-    if (v == nullptr || i >= v->sum) return kNoKey;
-    Key x = 0;
-    for (uint32_t lvl = b_; lvl > 0; --lvl) {
-      const std::size_t left_sum = v->left != nullptr ? v->left->sum : 0;
-      if (i < left_sum) {
-        v = v->left;
-      } else {
-        i -= left_sum;
-        v = v->right;
-        x |= Key{1} << (lvl - 1);
-      }
-    }
-    return x;
-  }
-
-  /// In-order walk of one immutable version, pruned to the subtrees that
-  /// intersect [lo, hi]; stops as soon as `limit` keys were collected.
-  static void collect(const VNode* v, uint32_t lvl, Key prefix, Key lo,
-                      Key hi, std::size_t limit, std::size_t& n,
-                      std::vector<Key>& out) {
-    if (v == nullptr || n >= limit) return;
-    if (lvl == 0) {
-      if (prefix >= lo && prefix <= hi) {
-        out.push_back(prefix);
-        ++n;
-      }
-      return;
-    }
-    // Subtree at (lvl, prefix) spans [prefix, prefix + 2^lvl).
-    const Key span_end = prefix + (Key{1} << lvl) - 1;
-    if (span_end < lo || prefix > hi) return;
-    collect(v->left, lvl - 1, prefix, lo, hi, limit, n, out);
-    collect(v->right, lvl - 1, prefix | (Key{1} << (lvl - 1)), lo, hi, limit,
-            n, out);
-  }
-
+ private:
   /// Immutable rebuild of the path to x with the leaf set/cleared.
   /// Returns the new root (nullptr = empty) and appends the freshly
-  /// allocated nodes to `fresh` so a failed CAS can roll them back.
-  const VNode* rebuild(const VNode* v, Key x, uint32_t lvl, bool add,
-                       std::vector<const VNode*>& fresh) {
+  /// acquired nodes to `fresh` so a failed CAS can roll them back.
+  const vsn::VNode* rebuild(const vsn::VNode* v, Key x, uint32_t lvl,
+                            bool add, std::vector<const vsn::VNode*>& fresh) {
     if (lvl == 0) {
       if (!add) return nullptr;
-      auto* leaf = new VNode{1, nullptr, nullptr};
+      const vsn::VNode* leaf = vsn::make_vnode(1, nullptr, nullptr);
       fresh.push_back(leaf);
       return leaf;
     }
-    const VNode* old_left = v != nullptr ? v->left : nullptr;
-    const VNode* old_right = v != nullptr ? v->right : nullptr;
-    const VNode* left = old_left;
-    const VNode* right = old_right;
-    if (bit_at(x, lvl - 1)) {
+    const vsn::VNode* old_left = v != nullptr ? v->left : nullptr;
+    const vsn::VNode* old_right = v != nullptr ? v->right : nullptr;
+    const vsn::VNode* left = old_left;
+    const vsn::VNode* right = old_right;
+    if (vsn::bit_at(x, lvl - 1)) {
       right = rebuild(old_right, x, lvl - 1, add, fresh);
     } else {
       left = rebuild(old_left, x, lvl - 1, add, fresh);
@@ -202,7 +174,7 @@ class VersionedTrie {
     const std::size_t sum =
         (left != nullptr ? left->sum : 0) + (right != nullptr ? right->sum : 0);
     if (sum == 0) return nullptr;
-    auto* node = new VNode{sum, left, right};
+    const vsn::VNode* node = vsn::make_vnode(sum, left, right);
     fresh.push_back(node);
     return node;
   }
@@ -211,18 +183,18 @@ class VersionedTrie {
     assert(x >= 0 && x < u_);
     for (;;) {
       ebr::Guard guard;
-      const VNode* old_root = root_.load(std::memory_order_acquire);
+      const vsn::VNode* old_root = root_.load(std::memory_order_acquire);
       // Presence check on the snapshot: idempotent ops bail out.
       {
-        const VNode* v = old_root;
+        const vsn::VNode* v = old_root;
         for (uint32_t lvl = b_; v != nullptr && lvl > 0; --lvl) {
-          v = bit_at(x, lvl - 1) ? v->right : v->left;
+          v = vsn::bit_at(x, lvl - 1) ? v->right : v->left;
         }
         if ((v != nullptr) == add) return;
       }
-      std::vector<const VNode*> fresh;
-      const VNode* new_root = rebuild(old_root, x, b_, add, fresh);
-      const VNode* expected = old_root;
+      std::vector<const vsn::VNode*> fresh;
+      const vsn::VNode* new_root = rebuild(old_root, x, b_, add, fresh);
+      const vsn::VNode* expected = old_root;
       if (root_.compare_exchange_strong(expected, new_root,
                                         std::memory_order_acq_rel)) {
         // Retire exactly the replaced path of the old version; shared
@@ -230,31 +202,33 @@ class VersionedTrie {
         retire_path(old_root, x);
         return;
       }
-      for (const VNode* n : fresh) delete n;  // lost the race; roll back
+      // Lost the race; the never-published nodes go back via release()
+      // (the extra grace period keeps every pool path ABA-safe).
+      for (const vsn::VNode* n : fresh) vsn::retire_vnode(n);
     }
   }
 
-  void retire_path(const VNode* v, Key x) {
+  void retire_path(const vsn::VNode* v, Key x) {
     uint32_t lvl = b_;
     while (v != nullptr) {
-      ebr::retire(const_cast<VNode*>(v));
+      vsn::retire_vnode(v);
       if (lvl == 0) break;
-      v = bit_at(x, lvl - 1) ? v->right : v->left;
+      v = vsn::bit_at(x, lvl - 1) ? v->right : v->left;
       --lvl;
     }
   }
 
-  /// Destructor-only: free a whole version tree (no concurrency).
-  void release(const VNode* v) {
+  /// Destructor-only: hand a whole version tree back to the pool.
+  void release(const vsn::VNode* v) {
     if (v == nullptr) return;
     release(v->left);
     release(v->right);
-    delete v;
+    vsn::retire_vnode(v);
   }
 
   Key u_;
   uint32_t b_;
-  std::atomic<const VNode*> root_{nullptr};
+  std::atomic<const vsn::VNode*> root_{nullptr};
 };
 
 }  // namespace lfbt

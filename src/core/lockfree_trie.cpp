@@ -195,6 +195,7 @@ void LockFreeBinaryTrie::insert(Key x) {
   }
   announce(i_node);                                // l.173
   i_node->status.store(UpdateNode::kActive);       // l.174 — linearization
+  upd_epoch_.fetch_add(1);  // scan validation: bump after linearization
   i_node->latest_next.store(nullptr);              // l.175
   core_.insert_binary_trie(i_node);                // l.176
   notify_query_ops(i_node);                        // l.177
@@ -238,6 +239,7 @@ void LockFreeBinaryTrie::erase(Key x) {
   announce(d_node);                               // l.196
   d_node->status.store(UpdateNode::kActive);      // l.197 — linearization
   size_.fetch_sub(1);  // x left S at l.197; decrement strictly after
+  upd_epoch_.fetch_add(1);  // scan validation: bump after linearization
   if (DelNode* tg = i_node->target.load()) {      // l.198
     tg->stop.store(true);
   }
@@ -286,6 +288,7 @@ void LockFreeBinaryTrie::erase_unfused_for_bench(Key x) {
   announce(d_node);
   d_node->status.store(UpdateNode::kActive);
   size_.fetch_sub(1);
+  upd_epoch_.fetch_add(1);
   if (DelNode* tg = i_node->target.load()) tg->stop.store(true);
   d_node->latest_next.store(nullptr);
   QueryAnswer p2 = query_helper_fused(x, QueryDir::kPred);
@@ -761,6 +764,7 @@ bool LockFreeBinaryTrie::stall_insert_for_test(Key x) {
   }
   announce(i_node);
   i_node->status.store(UpdateNode::kActive);  // linearized — then crash.
+  upd_epoch_.fetch_add(1);  // the membership change did happen
   return true;
 }
 
@@ -785,6 +789,7 @@ bool LockFreeBinaryTrie::stall_delete_for_test(Key x) {
   announce(d_node);
   d_node->status.store(UpdateNode::kActive);  // linearized
   size_.fetch_sub(1);
+  upd_epoch_.fetch_add(1);
   if (DelNode* tg = i_node->target.load()) tg->stop.store(true);
   d_node->latest_next.store(nullptr);
   // Neither fused announcement is ever retired: both stay in the P-ALL

@@ -115,16 +115,37 @@ class LockFreeBinaryTrie {
   Key successor(Key y);
 
   /// Ascending keys of S ∩ [lo, hi], at most `limit`, appended to `out`;
-  /// returns the number appended. The shared successor walk of
-  /// query/range_scan.hpp (a contract-only header below this one in the
-  /// include order): one linearizable step per reported key, under the
-  /// repository-wide weak-consistency scan contract documented there.
+  /// returns the number appended. Delegates to the validated walk below,
+  /// so the common quiet-window case is a fully atomic observation at no
+  /// extra cost beyond two epoch reads; under interference it degrades to
+  /// the repository-wide weak (per-step) contract of query/range_scan.hpp
+  /// after the bounded retries. Callers who need the atomicity FLAG use
+  /// range_scan_validated directly.
   std::size_t range_scan(Key lo, Key hi, std::size_t limit,
                          std::vector<Key>& out) {
-    assert(lo >= 0 && lo < universe() && hi >= lo);
-    return successor_range_scan(
-        *this, lo, hi < universe() ? hi : universe() - 1, limit, out);
+    return range_scan_validated(lo, hi, limit, out).n;
   }
+
+  /// Epoch-validated scan: the successor walk bracketed by reads of this
+  /// structure's update epoch (bumped by every successful insert/erase
+  /// between its linearization and its return). Unchanged epoch => the
+  /// whole scan linearizes — the report is S ∩ [lo, hi] (lowest `limit`
+  /// keys) at one instant — and the result says atomic == true. A moved
+  /// epoch discards the walk and retries, at most `max_retries` times,
+  /// then keeps one per-step walk flagged atomic == false. Soundness:
+  /// docs/DESIGN.md "Atomic scans".
+  ScanResult range_scan_validated(Key lo, Key hi, std::size_t limit,
+                                  std::vector<Key>& out,
+                                  uint32_t max_retries = kDefaultScanRetries) {
+    assert(lo >= 0 && lo < universe() && hi >= lo);
+    return epoch_validated_scan(
+        *this, [this] { return upd_epoch_.load(); }, lo,
+        hi < universe() ? hi : universe() - 1, limit, out, max_retries);
+  }
+
+  /// Monotone count of completed membership changes (the scan-validation
+  /// handshake; also exposed for the sharded layer's tests).
+  uint64_t update_epoch() const noexcept { return upd_epoch_.load(); }
 
   /// Number of keys currently in S, backed by one per-structure atomic
   /// counter touched once per *successful* update (one fetch_add next to
@@ -229,6 +250,13 @@ class LockFreeBinaryTrie {
   // visible, and the decrement no earlier than the activation that removes
   // it — the "never undercounts" invariant documented at size().
   std::atomic<int64_t> size_{0};
+  // Scan-validation epoch: bumped once per successful membership change,
+  // strictly AFTER the activation (linearization) and before the wrapper
+  // returns, by the installing thread only. Monotone — unlike size_ it is
+  // never rolled back, so a CAS loser leaves it untouched. seq_cst
+  // fetch_add/loads give the validation its real-time guarantee: an
+  // update that RETURNED before a scan's post-read is visible in it.
+  std::atomic<uint64_t> upd_epoch_{0};
 };
 
 }  // namespace lfbt

@@ -34,12 +34,14 @@ enum class MemClass : int {
   kUpdateNode = 2,
   kAnnCell = 3,
   kArenaChunk = 4,
+  kVersionNode = 5,
 };
 
-inline constexpr int kNumMemClasses = 5;
+inline constexpr int kNumMemClasses = 6;
 
 inline constexpr const char* kMemClassNames[kNumMemClasses] = {
-    "query_node", "notify_node", "update_node", "ann_cell", "arena_chunk"};
+    "query_node",  "notify_node", "update_node",
+    "ann_cell",    "arena_chunk", "version_node"};
 
 class MemStats {
  public:

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "query/range_scan.hpp"
 
 namespace lfbt {
 
@@ -67,6 +68,20 @@ concept TraversableOrderedSet =
     requires(S s, Key y, std::size_t limit, std::vector<Key>& out) {
       { s.successor(y) } -> std::convertible_to<Key>;
       { s.range_scan(y, y, limit, out) } -> std::convertible_to<std::size_t>;
+    };
+
+/// A TraversableOrderedSet whose scans additionally come in the validated
+/// flavour: `range_scan_validated` returns a ScanResult that reports
+/// whether the window observed was a single atomic state (and how many
+/// retries it took to get there) — contract in query/range_scan.hpp.
+/// Structures that are atomic by construction (locks, snapshots) always
+/// report atomic=true; epoch-validated structures may fall back to the
+/// per-step walk after bounded retries and say so with atomic=false.
+template <class S>
+concept AtomicScanOrderedSet =
+    TraversableOrderedSet<S> &&
+    requires(S s, Key y, std::size_t limit, std::vector<Key>& out) {
+      { s.range_scan_validated(y, y, limit, out) } -> std::same_as<ScanResult>;
     };
 
 /// An OrderedSet that reports the bytes it has reserved from the OS
@@ -113,9 +128,21 @@ class AnyOrderedSet {
                          std::vector<Key>& out) {
     return impl_->range_scan(lo, hi, limit, out);
   }
+  /// Validated scan (contract in query/range_scan.hpp). On a wrappee that
+  /// is traversable but has no validated surface this degrades to the
+  /// per-step walk and honestly reports atomic=false; query
+  /// supports_atomic_scan() to distinguish "fell back this time" from
+  /// "can never validate".
+  ScanResult range_scan_validated(Key lo, Key hi, std::size_t limit,
+                                  std::vector<Key>& out,
+                                  uint32_t max_retries = kDefaultScanRetries) {
+    return impl_->range_scan_validated(lo, hi, limit, out, max_retries);
+  }
 
   /// True iff the wrapped structure models TraversableOrderedSet.
   bool supports_traversal() const { return impl_->supports_traversal(); }
+  /// True iff the wrapped structure models AtomicScanOrderedSet.
+  bool supports_atomic_scan() const { return impl_->supports_atomic_scan(); }
 
   /// Structure-owned reserved bytes (see MemoryReportingOrderedSet); 0
   /// when the wrapped structure does not report memory. Pair with
@@ -133,7 +160,10 @@ class AnyOrderedSet {
     virtual Key successor(Key) = 0;
     virtual std::size_t range_scan(Key, Key, std::size_t,
                                    std::vector<Key>&) = 0;
+    virtual ScanResult range_scan_validated(Key, Key, std::size_t,
+                                            std::vector<Key>&, uint32_t) = 0;
     virtual bool supports_traversal() const = 0;
+    virtual bool supports_atomic_scan() const = 0;
     virtual std::size_t memory_reserved() const = 0;
     virtual bool reports_memory() const = 0;
   };
@@ -164,8 +194,29 @@ class AnyOrderedSet {
         return 0;
       }
     }
+    ScanResult range_scan_validated(Key lo, Key hi, std::size_t limit,
+                                    std::vector<Key>& out,
+                                    uint32_t max_retries) override {
+      if constexpr (AtomicScanOrderedSet<S>) {
+        return set->range_scan_validated(lo, hi, limit, out, max_retries);
+      } else if constexpr (TraversableOrderedSet<S>) {
+        // Per-step fallback: correct keys-seen-once semantics, but no
+        // atomicity claim.
+        (void)max_retries;
+        ScanResult r;
+        r.n = set->range_scan(lo, hi, limit, out);
+        return r;
+      } else {
+        assert(!"range_scan_validated() on a non-traversable structure");
+        (void)lo, (void)hi, (void)limit, (void)out, (void)max_retries;
+        return {};
+      }
+    }
     bool supports_traversal() const override {
       return TraversableOrderedSet<S>;
+    }
+    bool supports_atomic_scan() const override {
+      return AtomicScanOrderedSet<S>;
     }
     std::size_t memory_reserved() const override {
       if constexpr (MemoryReportingOrderedSet<S>) {
@@ -187,5 +238,7 @@ static_assert(OrderedSet<AnyOrderedSet>,
               "the type-erased adapter must model the concept it erases");
 static_assert(TraversableOrderedSet<AnyOrderedSet>,
               "the adapter erases the traversal surface as well");
+static_assert(AtomicScanOrderedSet<AnyOrderedSet>,
+              "the adapter erases the validated-scan surface as well");
 
 }  // namespace lfbt

@@ -102,7 +102,12 @@ struct alignas(kCacheLine) Shard {
 /// One migration: drain global keys [move_lo, move_hi) from src into dst.
 /// For a split, dst is a fresh shard that takes over the top half of
 /// src's range at completion; for a merge, dst is the left neighbour and
-/// src (the right entry's shard) is retired at completion.
+/// src (the right entry's shard) is retired at completion; for a replace
+/// (merge's rebuild step), dst is a fresh, wider shard that takes over
+/// src's WHOLE entry at completion and src is retired like a merge
+/// victim. The data plane never branches on the kind: a replace routes
+/// exactly like a split whose moved range happens to start at the
+/// entry's lower bound.
 struct SplitCtl {
   static constexpr Key kBatch = 64;
 
@@ -111,6 +116,7 @@ struct SplitCtl {
   Shard* const src;
   Shard* const dst;
   const bool merge;
+  const bool replace;
   std::atomic<uint64_t> word;
   /// Set (under the control mutex) once the new routing table is live.
   std::atomic<bool> published{false};
@@ -124,13 +130,17 @@ struct SplitCtl {
   int owners = 0;
   bool replaced = false;
 
-  SplitCtl(Key lo, Key hi, Shard* s, Shard* d, bool is_merge)
+  SplitCtl(Key lo, Key hi, Shard* s, Shard* d, bool is_merge,
+           bool is_replace = false)
       : move_lo(lo),
         move_hi(hi),
         src(s),
         dst(d),
         merge(is_merge),
-        word(pack_mig(0, false, lo)) {}
+        replace(is_replace),
+        word(pack_mig(0, false, lo)) {
+    assert(!(is_merge && is_replace));
+  }
 };
 
 inline Shard::~Shard() { delete ctl.load(std::memory_order_relaxed); }

@@ -97,12 +97,27 @@
 // again (so a guard can overlap at most ONE republish per shard).
 //
 // successor(y) is the exact mirror: upward walk, min instead of max,
-// same epoch discipline. range_scan keeps the repository-wide
-// weak-consistency contract (query/range_scan.hpp): per-step
-// linearizable successor probes — a union range merge-walks both tries,
-// deduplicating transiently double-present keys by cursor advance — and
-// no epoch validation, since the contract already permits missing keys
-// inserted behind the cursor.
+// same epoch discipline.
+//
+// range_scan is built from the same two ingredients, upgraded to a
+// whole-scan validation (range_scan_validated): before probing an entry
+// the walk records the backing shard's insert AND delete epochs (plus
+// the migration dst's pair when a ctl intersects — the union pair-read
+// rule again), merge-walking union ranges with cursor-advance dedup as
+// before; after the last probe it re-reads every recorded pair. All
+// unchanged => no update that overlapped the walk has returned, every
+// such update is pairwise concurrent with the scan, and a linearization
+// placing the scan at one state matching the report exists — the scan
+// is atomic (ScanResult::atomic). Any moved epoch discards the walk and
+// retries (bounded), finally keeping one per-step walk under the weak
+// contract of query/range_scan.hpp, flagged non-atomic. Both epoch
+// directions are required for scans just as for pair-reads (an erase
+// behind the cursor un-reports a key the scan claimed); migration moves
+// bump neither epoch and preserve the union, so an in-flight split or
+// merge never forces a retry by itself. Entries skipped by the O(1)
+// empty-shard check still contribute their epoch pair — a key inserted
+// there behind the skip must fail validation. Full argument in
+// docs/DESIGN.md "Atomic scans".
 //
 // The migration protocol itself — copy-window exclusivity, idempotent
 // per-key moves, seq-CAS takeover/abort, and why the rejected
@@ -319,40 +334,90 @@ class ShardedTrie {
   }
 
   /// Ascending keys of S ∩ [lo, hi], at most `limit`, appended to `out`;
-  /// returns the number appended. Walks ranges upward with the O(1)
-  /// empty-shard skip; a mid-migration range merge-walks src and dst.
-  /// Weak-consistency contract of query/range_scan.hpp.
+  /// returns the number appended. Delegates to the validated scan below
+  /// (quiet windows observe one state for free); under interference the
+  /// kept walk degrades to the weak per-step contract of
+  /// query/range_scan.hpp after the bounded retries.
   std::size_t range_scan(Key lo, Key hi, std::size_t limit,
                          std::vector<Key>& out) {
+    return range_scan_validated(lo, hi, limit, out).n;
+  }
+
+  /// Epoch-validated cross-range scan — see the header comment for the
+  /// argument. Walks ranges upward with the O(1) empty-shard skip; a
+  /// mid-migration range merge-walks src and dst under the union
+  /// pair-read rules. One ebr::Guard covers each attempt's pre-reads,
+  /// walk and validation (the "migration cannot start unobserved
+  /// mid-walk" invariant). atomic == true iff the kept walk validated.
+  ScanResult range_scan_validated(Key lo, Key hi, std::size_t limit,
+                                  std::vector<Key>& out,
+                                  uint32_t max_retries = kDefaultScanRetries) {
     assert(lo >= 0 && lo < u_ && hi >= lo);
     if (hi >= u_) hi = u_ - 1;
-    std::size_t n = 0;
-    ebr::Guard g;
-    const auto* t = table_.load();
-    for (int i = t->find(lo); i < t->n && n < limit; ++i) {
-      const Key elo = t->lo[i];
-      const Key ehi = t->lo[i + 1];
-      if (elo > hi) break;
-      reshard::Shard* s = t->shard[i];
-      reshard::SplitCtl* c = s->ctl.load();
-      reshard::Shard* d = (c != nullptr && c->move_lo < ehi) ? c->dst : nullptr;
-      if (d == nullptr && s->trie->empty()) continue;
-      Key cursor = std::max(lo, elo) - 1;  // report keys > cursor
-      while (n < limit) {
-        const Key ra = range_succ(*s->trie, s->base, elo, ehi, cursor);
-        const Key rb = d != nullptr
-                           ? range_succ(*d->trie, d->base,
-                                        std::max(elo, c->move_lo), ehi, cursor)
-                           : kNoKey;
-        const Key r = ra == kNoKey ? rb
-                                   : (rb == kNoKey ? ra : std::min(ra, rb));
-        if (r == kNoKey || r > hi) break;
-        out.push_back(r);
-        ++n;
-        cursor = r;
+    const std::size_t base = out.size();
+    ScanResult res;
+    for (;;) {
+      {
+        ebr::Guard g;
+        const auto* t = table_.load();
+        ScanObs obs[reshard::RangeTable::kMaxRanges];
+        int nobs = 0;
+        std::size_t n = 0;
+        for (int i = t->find(lo); i < t->n && n < limit; ++i) {
+          const Key elo = t->lo[i];
+          const Key ehi = t->lo[i + 1];
+          if (elo > hi) break;
+          reshard::Shard* s = t->shard[i];
+          reshard::SplitCtl* c = s->ctl.load();
+          reshard::Shard* d =
+              (c != nullptr && c->move_lo < ehi) ? c->dst : nullptr;
+          // Record the entry's epoch pair(s) BEFORE its first probe —
+          // also for entries the empty-skip never probes: an insert
+          // landing behind the skip must still fail validation.
+          ScanObs& o = obs[nobs++];
+          o.a = s;
+          o.b = d;
+          o.ia = s->ins_epoch.value.load();
+          o.da = s->del_epoch.value.load();
+          if (d != nullptr) {
+            o.ib = d->ins_epoch.value.load();
+            o.db = d->del_epoch.value.load();
+          }
+          if (d == nullptr && s->trie->empty()) continue;
+          Key cursor = std::max(lo, elo) - 1;  // report keys > cursor
+          while (n < limit) {
+            const Key ra = range_succ(*s->trie, s->base, elo, ehi, cursor);
+            const Key rb =
+                d != nullptr
+                    ? range_succ(*d->trie, d->base,
+                                 std::max(elo, c->move_lo), ehi, cursor)
+                    : kNoKey;
+            const Key r =
+                ra == kNoKey ? rb : (rb == kNoKey ? ra : std::min(ra, rb));
+            if (r == kNoKey || r > hi) break;
+            out.push_back(r);
+            ++n;
+            cursor = r;
+          }
+        }
+        res.n = n;
+        bool valid = true;
+        for (int k = 0; k < nobs && valid; ++k) valid = obs[k].unchanged();
+        if (valid) {
+          res.atomic = true;
+          Stats::count_scan_atomic();
+          return res;
+        }
       }
+      if (res.retries >= max_retries) {
+        // Keep the last walk: per-step correct, honestly flagged.
+        Stats::count_scan_fallback();
+        return res;
+      }
+      out.resize(base);
+      ++res.retries;
+      Stats::count_scan_retry();
     }
-    return n;
   }
 
   /// Sum of per-range sizes (plus in-flight split targets); approximate
@@ -410,8 +475,10 @@ class ShardedTrie {
       reshard::Shard* s = t->shard[i];
       reshard::SplitCtl* cur = s->ctl.load(std::memory_order_relaxed);
       if (cur != nullptr && !cur->published.load(std::memory_order_relaxed)) {
-        if (cur->merge) return false;  // this range is being merged away
-        c = cur;                       // adopt the in-flight split
+        // A merge is draining this range away; a replace is rebuilding
+        // it — neither in-flight migration is a split we can adopt.
+        if (cur->merge || cur->replace) return false;
+        c = cur;  // adopt the in-flight split
       } else {
         const Key lo = t->lo[i];
         const Key hi = t->lo[i + 1];
@@ -434,45 +501,20 @@ class ShardedTrie {
     return drained;
   }
 
-  /// Merges range `i+1` back into range `i` (the left neighbour must be
-  /// able to host the combined range — true for any split-derived
-  /// pair), draining the right shard and retiring it at publication.
-  /// Join/takeover/abandon semantics mirror split().
+  /// Merges range `i+1` back into range `i`, draining the right shard
+  /// and retiring it at publication. When the left shard's trie cannot
+  /// host the widened range — construction-time neighbours, whose tries
+  /// were sized to exactly their original width — the call first
+  /// REBUILDS entry i: an online replace-migration drains it into a
+  /// fresh shard wide enough for the combined range, publishes the
+  /// entry-swap, and the merge then proceeds as usual. Join/takeover/
+  /// abandon semantics mirror split().
   bool merge(int i, const SplitPacer& pacer = {}) {
-    reshard::SplitCtl* c = nullptr;
-    {
-      std::lock_guard<std::mutex> lk(ctl_mu_);
-      const auto* t = table_.load(std::memory_order_relaxed);
-      if (i < 0 || i + 1 >= t->n) return false;
-      reshard::Shard* l = t->shard[i];
-      reshard::Shard* r = t->shard[i + 1];
-      const Key mid = t->lo[i + 1];
-      const Key hi = t->lo[i + 2];
-      reshard::SplitCtl* cur = r->ctl.load(std::memory_order_relaxed);
-      if (cur != nullptr && !cur->published.load(std::memory_order_relaxed)) {
-        if (!cur->merge || cur->dst != l) return false;
-        c = cur;  // adopt the in-flight merge
-      } else {
-        if (l->busy || r->busy) return false;
-        if (hi - l->base > l->trie->universe()) return false;
-        // The left shard's entry is about to widen over [mid, hi); a
-        // stale published ctl on it would alias that range to a dead
-        // dst once the widened entry stops skipping it. Clear it now —
-        // readers of the current table only ever skip it anyway.
-        reshard::SplitCtl* stale =
-            l->ctl.exchange(nullptr, std::memory_order_acq_rel);
-        if (stale != nullptr) discard_ctl(stale);
-        c = new reshard::SplitCtl(mid, hi, r, l, /*merge=*/true);
-        install_ctl(r, c);
-        l->busy = r->busy = true;
-      }
-      ++c->owners;
+    MergeVerdict v = try_merge(i, pacer);
+    if (v == MergeVerdict::kNeedsRebuild && rebuild_range(i, pacer)) {
+      v = try_merge(i, pacer);
     }
-    const uint32_t myseq = seize(c);
-    const bool drained = run_migration(c, myseq, pacer);
-    if (drained) publish(c);
-    release_ctl(c);
-    return drained;
+    return v == MergeVerdict::kOk;
   }
 
   /// Load-observer policy hook: if a policy window has elapsed
@@ -595,6 +637,25 @@ class ShardedTrie {
     return gkey < rhi ? gkey : kNoKey;
   }
 
+  /// Epoch pairs a validated scan recorded for one routing entry (and
+  /// its migration dst, when one intersects); unchanged() re-reads them
+  /// after the walk. Scans need BOTH directions — an erase behind the
+  /// cursor invalidates a reported key just as an insert invalidates a
+  /// gap — where the pred/succ walk's no-key ranges need inserts only.
+  struct ScanObs {
+    reshard::Shard* a = nullptr;
+    reshard::Shard* b = nullptr;
+    uint64_t ia = 0, da = 0, ib = 0, db = 0;
+    bool unchanged() const {
+      if (a->ins_epoch.value.load() != ia ||
+          a->del_epoch.value.load() != da) {
+        return false;
+      }
+      return b == nullptr || (b->ins_epoch.value.load() == ib &&
+                              b->del_epoch.value.load() == db);
+    }
+  };
+
   /// Epochs a cross-range walk recorded for one range; unchanged()
   /// re-reads them during validation.
   struct RangeObs {
@@ -663,6 +724,91 @@ class ShardedTrie {
 
   // ---- migration machinery (control plane) ----------------------------
 
+  enum class MergeVerdict { kOk, kRefused, kNeedsRebuild };
+
+  /// One merge attempt: the whole pre-rebuild merge() body. Returns
+  /// kNeedsRebuild only for the capacity refusal (the left trie's
+  /// universe cannot host the widened range) — every other refusal is
+  /// terminal for this call.
+  MergeVerdict try_merge(int i, const SplitPacer& pacer) {
+    reshard::SplitCtl* c = nullptr;
+    {
+      std::lock_guard<std::mutex> lk(ctl_mu_);
+      const auto* t = table_.load(std::memory_order_relaxed);
+      if (i < 0 || i + 1 >= t->n) return MergeVerdict::kRefused;
+      reshard::Shard* l = t->shard[i];
+      reshard::Shard* r = t->shard[i + 1];
+      const Key mid = t->lo[i + 1];
+      const Key hi = t->lo[i + 2];
+      reshard::SplitCtl* cur = r->ctl.load(std::memory_order_relaxed);
+      if (cur != nullptr && !cur->published.load(std::memory_order_relaxed)) {
+        if (!cur->merge || cur->dst != l) return MergeVerdict::kRefused;
+        c = cur;  // adopt the in-flight merge
+      } else {
+        if (l->busy || r->busy) return MergeVerdict::kRefused;
+        if (hi - l->base > l->trie->universe()) {
+          return MergeVerdict::kNeedsRebuild;
+        }
+        // The left shard's entry is about to widen over [mid, hi); a
+        // stale published ctl on it would alias that range to a dead
+        // dst once the widened entry stops skipping it. Clear it now —
+        // readers of the current table only ever skip it anyway.
+        reshard::SplitCtl* stale =
+            l->ctl.exchange(nullptr, std::memory_order_acq_rel);
+        if (stale != nullptr) discard_ctl(stale);
+        c = new reshard::SplitCtl(mid, hi, r, l, /*merge=*/true);
+        install_ctl(r, c);
+        l->busy = r->busy = true;
+      }
+      ++c->owners;
+    }
+    const uint32_t myseq = seize(c);
+    const bool drained = run_migration(c, myseq, pacer);
+    if (drained) publish(c);
+    release_ctl(c);
+    return drained ? MergeVerdict::kOk : MergeVerdict::kRefused;
+  }
+
+  /// merge()'s rebuild step: drain entry i into a fresh shard whose trie
+  /// spans the COMBINED range [lo_i, lo_{i+2}) and swap it into the
+  /// entry, retiring the old shard — an online replace-migration riding
+  /// the ordinary split machinery (the moved range is the whole entry,
+  /// so routing needs no new cases). Returns true once the entry-swap is
+  /// published; false if the entry is busy or the pacer abandoned the
+  /// drain (the resident ctl is adopted by a later merge of the same
+  /// range, like any abandoned migration).
+  bool rebuild_range(int i, const SplitPacer& pacer) {
+    reshard::SplitCtl* c = nullptr;
+    {
+      std::lock_guard<std::mutex> lk(ctl_mu_);
+      const auto* t = table_.load(std::memory_order_relaxed);
+      if (i < 0 || i + 1 >= t->n) return false;
+      reshard::Shard* l = t->shard[i];
+      const Key lo = t->lo[i];
+      const Key mid = t->lo[i + 1];
+      const Key hi = t->lo[i + 2];
+      reshard::SplitCtl* cur = l->ctl.load(std::memory_order_relaxed);
+      if (cur != nullptr && !cur->published.load(std::memory_order_relaxed)) {
+        if (!cur->replace) return false;  // foreign migration in flight
+        c = cur;  // adopt the in-flight rebuild
+      } else {
+        if (l->busy) return false;
+        auto* d = new reshard::Shard(lo, hi - lo);
+        c = new reshard::SplitCtl(lo, mid, l, d, /*merge=*/false,
+                                  /*replace=*/true);
+        install_ctl(l, c);
+        l->busy = d->busy = true;
+        shards_.push_back(d);
+      }
+      ++c->owners;
+    }
+    const uint32_t myseq = seize(c);
+    const bool drained = run_migration(c, myseq, pacer);
+    if (drained) publish(c);
+    release_ctl(c);
+    return drained;
+  }
+
   /// Retires a ctl that has just been unlinked from its shard — now, if
   /// no split()/merge() caller still holds the pointer, or at the last
   /// release otherwise. ctl_mu_ must be held.
@@ -683,7 +829,8 @@ class ShardedTrie {
 
   /// Drops one control-plane reference to c. The last release performs
   /// the deferred cleanup: retiring a displaced ctl, or retiring a
-  /// published merge's victim shard (whose destructor owns the ctl) —
+  /// published merge's or replace's victim shard (whose destructor owns
+  /// the ctl) —
   /// deferred to here because an attached caller may still read c->word
   /// outside any guard, and a retired victim would free c under it.
   void release_ctl(reshard::SplitCtl* c) {
@@ -694,7 +841,8 @@ class ShardedTrie {
       if (--c->owners == 0) {
         if (c->replaced) {
           doomed = c;
-        } else if (c->merge && c->published.load(std::memory_order_relaxed)) {
+        } else if ((c->merge || c->replace) &&
+                   c->published.load(std::memory_order_relaxed)) {
           victim = c->src;
         }
       }
@@ -776,6 +924,7 @@ class ShardedTrie {
     reshard::Shard* src = c->src;
     reshard::Shard* dst = c->dst;
     const bool is_merge = c->merge;
+    const bool is_replace = c->replace;
     {
       std::lock_guard<std::mutex> lk(ctl_mu_);
       if (c->published.load(std::memory_order_relaxed)) return;  // raced
@@ -787,9 +936,11 @@ class ShardedTrie {
       for (int j = 0; j < t->n; ++j) {
         if (t->shard[j] == src && is_merge) continue;  // victim entry
         nt->lo[m] = t->lo[j];
-        nt->shard[m] = t->shard[j];
+        // A replace keeps the geometry and swaps the drained shard for
+        // its wide rebuild.
+        nt->shard[m] = (t->shard[j] == src && is_replace) ? dst : t->shard[j];
         ++m;
-        if (t->shard[j] == src && !is_merge) {
+        if (t->shard[j] == src && !is_merge && !is_replace) {
           nt->lo[m] = c->move_lo;  // the new shard takes the top half
           nt->shard[m] = dst;
           ++m;
@@ -800,21 +951,23 @@ class ShardedTrie {
       table_.store(nt);
       reshard_seq_.fetch_add(1);
       ebr::retire(const_cast<reshard::RangeTable*>(t));
-      if (is_merge) {
+      if (is_merge || is_replace) {
         shards_.erase(std::find(shards_.begin(), shards_.end(), src));
       }
     }
     ebr::synchronize();
     {
       std::lock_guard<std::mutex> lk(ctl_mu_);
-      if (!is_merge) src->busy = false;
+      // Merge and replace victims leave the live set above; only a
+      // split's src survives to have its busy flag cleared.
+      if (!is_merge && !is_replace) src->busy = false;
       dst->busy = false;
     }
-    // A merge's victim shard is NOT retired here: it (and the ctl its
-    // destructor owns) must outlive both every guard that still routes
-    // through the retired table snapshot (EBR grace handles that) and
-    // every control-plane caller still attached to the ctl — so the
-    // retire happens at the last release_ctl().
+    // A merge's (or replace's) victim shard is NOT retired here: it
+    // (and the ctl its destructor owns) must outlive both every guard
+    // that still routes through the retired table snapshot (EBR grace
+    // handles that) and every control-plane caller still attached to
+    // the ctl — so the retire happens at the last release_ctl().
   }
 
   const Key u_;

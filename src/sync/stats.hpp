@@ -47,6 +47,13 @@ struct StepCounts {
   // other experiments already use.
   uint64_t scan_ops = 0;
   uint64_t scan_keys = 0;
+  // Validated-scan accounting (E15 / the atomic-scan torture tests):
+  // scans whose kept walk validated as atomic, walks discarded because an
+  // update epoch moved mid-walk, and scans that exhausted their retry
+  // budget and kept a per-step walk (atomic == false).
+  uint64_t atomic_scans = 0;
+  uint64_t scan_retries = 0;
+  uint64_t scan_fallbacks = 0;
   // Query-path accounting (E12 / the fused-delete acceptance test):
   // every query-helper invocation, the subset announced as fused
   // direction-pairs (QueryDir::kBoth), and PredecessorNode allocations
@@ -64,6 +71,9 @@ struct StepCounts {
     trie_restarts += o.trie_restarts;
     scan_ops += o.scan_ops;
     scan_keys += o.scan_keys;
+    atomic_scans += o.atomic_scans;
+    scan_retries += o.scan_retries;
+    scan_fallbacks += o.scan_fallbacks;
     query_helpers += o.query_helpers;
     fused_queries += o.fused_queries;
     query_node_allocs += o.query_node_allocs;
@@ -79,6 +89,9 @@ struct StepCounts {
     r.trie_restarts -= o.trie_restarts;
     r.scan_ops -= o.scan_ops;
     r.scan_keys -= o.scan_keys;
+    r.atomic_scans -= o.atomic_scans;
+    r.scan_retries -= o.scan_retries;
+    r.scan_fallbacks -= o.scan_fallbacks;
     r.query_helpers -= o.query_helpers;
     r.fused_queries -= o.fused_queries;
     r.query_node_allocs -= o.query_node_allocs;
@@ -116,6 +129,9 @@ class Stats {
     ++s.scan_ops;
     s.scan_keys += keys;
   }
+  static void count_scan_atomic() { ++local().atomic_scans; }
+  static void count_scan_retry() { ++local().scan_retries; }
+  static void count_scan_fallback() { ++local().scan_fallbacks; }
   static void count_query_helper(bool fused) {
     auto& s = local();
     ++s.query_helpers;
@@ -151,6 +167,9 @@ class Stats {
   static void count_min_write() {}
   static void count_help() {}
   static void count_scan(uint64_t) {}
+  static void count_scan_atomic() {}
+  static void count_scan_retry() {}
+  static void count_scan_fallback() {}
   static void count_query_helper(bool) {}
   static void count_query_node_alloc() {}
   static StepCounts aggregate() { return StepCounts{}; }

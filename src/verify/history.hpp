@@ -7,6 +7,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -21,8 +22,14 @@ struct RecordedOp {
   uint64_t inv = 0;
   uint64_t res = 0;
   /// contains: 0/1; predecessor/successor: the returned key (or kNoKey);
-  /// updates: 0.
+  /// updates: 0; range scans: the number of keys reported.
   int64_t ret = 0;
+  /// Range-scan events only (recorded_scan): `key` is the inclusive
+  /// window bottom, `hi` the inclusive top, `limit` the request cap, and
+  /// `mask` the reported key set as a bitmask (universe <= 64).
+  Key hi = 0;
+  uint32_t limit = 0;
+  uint64_t mask = 0;
 };
 
 class HistoryClock {
@@ -38,7 +45,8 @@ class HistoryClock {
 /// template instantiates for partial-surface structures too (e.g. the
 /// successor-only MirroredTrie) — invoking an unimplemented kind at
 /// runtime records an impossible return value the checker will reject.
-/// Range scans are not single-point observations and are never recorded.
+/// Range scans carry a whole window, not a single point, and go through
+/// recorded_scan below instead.
 template <class Set>
 void recorded_apply(Set& set, OpKind kind, Key key, HistoryClock& clock,
                     std::vector<RecordedOp>& out) {
@@ -74,6 +82,31 @@ void recorded_apply(Set& set, OpKind kind, Key key, HistoryClock& clock,
   }
   rec.res = clock.tick();
   out.push_back(rec);
+}
+
+/// Runs one VALIDATED range scan of [lo, hi] (cap `limit`) against
+/// `set`, recording it as a whole-scan event iff the scan reported
+/// atomic — a fallback walk makes no single-state claim and is dropped,
+/// not recorded (checking it would reject correct per-step executions).
+/// Returns true when the event was recorded. Universe must be <= 64.
+template <class Set>
+bool recorded_scan(Set& set, Key lo, Key hi, std::size_t limit,
+                   HistoryClock& clock, std::vector<RecordedOp>& out) {
+  RecordedOp rec;
+  rec.kind = OpKind::kRangeScan;
+  rec.key = lo;
+  rec.hi = hi;
+  rec.limit = static_cast<uint32_t>(limit);
+  thread_local std::vector<Key> buf;
+  buf.clear();
+  rec.inv = clock.tick();
+  const auto r = set.range_scan_validated(lo, hi, limit, buf);
+  rec.res = clock.tick();
+  if (!r.atomic) return false;
+  rec.ret = static_cast<int64_t>(r.n);
+  for (const Key k : buf) rec.mask |= uint64_t{1} << k;
+  out.push_back(rec);
+  return true;
 }
 
 }  // namespace lfbt

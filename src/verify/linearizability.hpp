@@ -8,6 +8,7 @@
 // fast on the bounded-window histories our stress tests produce.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <unordered_set>
 #include <vector>
@@ -30,6 +31,24 @@ inline Key bitmask_successor(uint64_t state, Key y) {
       y < 0 ? state : state & ~((uint64_t{1} << (y + 1)) - 1);
   if (above == 0) return kNoKey;
   return static_cast<Key>(__builtin_ctzll(above));
+}
+
+/// The unique answer a bounded ascending scan of [lo, hi] gives against
+/// the bitmask state: the lowest min(limit, |state ∩ [lo, hi]|) keys,
+/// as a mask. lo in [0, 63], hi >= lo (clamped to 63).
+inline uint64_t bitmask_scan(uint64_t state, Key lo, Key hi,
+                             std::size_t limit) {
+  uint64_t w = state & ~(lo <= 0 ? 0 : ((uint64_t{1} << lo) - 1));
+  if (hi < 63) w &= (uint64_t{1} << (hi + 1)) - 1;
+  uint64_t expect = 0;
+  std::size_t c = 0;
+  while (w != 0 && c < limit) {
+    const uint64_t bit = w & (~w + 1);  // lowest set bit
+    expect |= bit;
+    w ^= bit;
+    ++c;
+  }
+  return expect;
 }
 
 class LinearizabilityChecker {
@@ -104,9 +123,12 @@ class LinearizabilityChecker {
       case OpKind::kSuccessor:
         return op.ret == bitmask_successor(state, op.key);
       case OpKind::kRangeScan:
-        // Scans are multi-point observations, outside the single-state
-        // Wing–Gong model; histories containing them are rejected.
-        return false;
+        // Whole-scan events (recorded_scan): an ATOMIC scan claims its
+        // entire reported window was one state, so it linearizes at a
+        // single point like any other query — the mask must be exactly
+        // the state's lowest min(limit, window) keys. Non-atomic scans
+        // are never recorded and thus never reach the checker.
+        return op.mask == bitmask_scan(state, op.key, op.hi, op.limit);
     }
     return false;
   }

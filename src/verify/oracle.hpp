@@ -41,6 +41,12 @@ class SingleWriterOracle {
     // Which directional query this records; validated against the
     // matching bitmask oracle.
     OpKind kind = OpKind::kPredecessor;
+    // Range-scan queries only (reader_scan_query): `y` is the window
+    // bottom, `hi` the inclusive top, `limit` the request cap, `mask`
+    // the reported key set, `answer` the reported count.
+    Key hi = 0;
+    uint32_t limit = 0;
+    uint64_t mask = 0;
   };
 
   explicit SingleWriterOracle(uint64_t initial_state = 0) {
@@ -116,6 +122,36 @@ class SingleWriterOracle {
     out.push_back(q);
   }
 
+  /// Atomic-scan reader: runs a VALIDATED range scan and logs it as a
+  /// whole-window query iff the scan reported atomic — an atomic scan
+  /// claims one state produced its entire window, so some overlapping
+  /// version's lowest min(limit, window) keys must match the mask
+  /// exactly. Fallback walks make no such claim and are dropped (the
+  /// caller can count them via the return value or Stats). The same
+  /// split-invariance argument as reader_contains_query applies: a
+  /// concurrent migration never changes the abstract set, so the
+  /// oracle's timeline stays exact with a splitter in flight.
+  template <class Set>
+  static bool reader_scan_query(Set& set, Key lo, Key hi, std::size_t limit,
+                                HistoryClock& clock,
+                                std::vector<Query>& out) {
+    Query q;
+    q.y = lo;
+    q.hi = hi;
+    q.limit = static_cast<uint32_t>(limit);
+    q.kind = OpKind::kRangeScan;
+    thread_local std::vector<Key> buf;
+    buf.clear();
+    q.t1 = clock.tick();
+    const auto r = set.range_scan_validated(lo, hi, limit, buf);
+    q.t2 = clock.tick();
+    if (!r.atomic) return false;
+    q.answer = static_cast<Key>(r.n);
+    for (const Key k : buf) q.mask |= uint64_t{1} << k;
+    out.push_back(q);
+    return true;
+  }
+
   /// Post-join validation. Returns the index of the first invalid query,
   /// or -1 if all are consistent with some overlapping version.
   std::ptrdiff_t validate(const std::vector<Query>& queries) const {
@@ -132,6 +168,12 @@ class SingleWriterOracle {
       const uint64_t live_until =
           j + 1 < versions_.size() ? versions_[j + 1].res : ~uint64_t{0};
       if (live_from >= q.t2 || q.t1 >= live_until) continue;
+      if (q.kind == OpKind::kRangeScan) {
+        if (q.mask == bitmask_scan(versions_[j].state, q.y, q.hi, q.limit)) {
+          return true;
+        }
+        continue;
+      }
       const Key expect =
           q.kind == OpKind::kContains
               ? static_cast<Key>((versions_[j].state >> q.y) & 1)

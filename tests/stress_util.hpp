@@ -10,7 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstddef>
 #include <functional>
 #include <thread>
 #include <vector>
@@ -34,6 +36,13 @@ struct StressSpec {
   // histories are sound to check everywhere, including the same-key
   // update races the retired two-view composites could not linearize.
   int succ_weight = 0;
+  // Percent of ops that are whole-window range scans, recorded through
+  // recorded_scan: only ATOMIC scans enter the history (as single-point
+  // multi-key observations the checker admits via bitmask_scan);
+  // fallback walks are dropped. Requires the structure to expose
+  // range_scan_validated — the weight is ignored otherwise.
+  int scan_weight = 0;
+  Key scan_span = 6;  // window width; anchored at a random key
   uint64_t seed = 1;
 };
 
@@ -88,8 +97,26 @@ void linearizability_stress(
           } else if (roll < spec.pred_weight + spec.succ_weight) {
             kind = OpKind::kSuccessor;
             k = k - 1;  // query point in [-1, u-1)
-          } else if (roll <
-                     spec.pred_weight + spec.succ_weight + spec.contains_weight) {
+          } else if (roll < spec.pred_weight + spec.succ_weight +
+                                spec.scan_weight) {
+            if constexpr (requires(std::vector<Key>& o) {
+                            set.range_scan_validated(k, k, std::size_t{1}, o);
+                          }) {
+              const Key hi =
+                  std::min<Key>(k + spec.scan_span - 1, spec.universe - 1);
+              // Half the scans are capped below the window width so the
+              // checker's limit semantics get exercised too.
+              const std::size_t limit =
+                  rng.bounded(2) != 0
+                      ? static_cast<std::size_t>(spec.universe)
+                      : static_cast<std::size_t>(
+                            1 + rng.bounded(
+                                    static_cast<uint64_t>(spec.scan_span)));
+              recorded_scan(set, k, hi, limit, clock, per_thread[t]);
+            }
+            continue;
+          } else if (roll < spec.pred_weight + spec.succ_weight +
+                                spec.scan_weight + spec.contains_weight) {
             kind = OpKind::kContains;
           } else {
             kind = rng.bounded(2) ? OpKind::kInsert : OpKind::kErase;

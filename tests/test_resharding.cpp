@@ -79,12 +79,43 @@ TEST(Resharding, SplitRefusals) {
   EXPECT_FALSE(t.split(0));
   EXPECT_FALSE(t.split(-1));
   EXPECT_FALSE(t.split(99));
-  // A merge of construction-time neighbours is refused: the left trie's
-  // universe cannot host the combined range (only split-derived pairs
-  // merge).
-  EXPECT_FALSE(t.merge(0));
+  EXPECT_FALSE(t.merge(-1));
+  EXPECT_FALSE(t.merge(99));
   EXPECT_EQ(t.shard_count(), 4);
   EXPECT_EQ(t.reshard_count(), 0u);
+}
+
+TEST(Resharding, MergeRebuildsUndersizedLeftShard) {
+  // Construction-time neighbours: each trie's universe is exactly its
+  // original width, so the left shard cannot host the widened range and
+  // merge() must first REBUILD it (replace-migration into a fresh wide
+  // shard), then drain the right neighbour — two published reshards.
+  ShardedTrie t(4, 4);  // four width-1 ranges
+  std::set<Key> ref;
+  for (Key k : {0, 1, 3}) {
+    t.insert(k);
+    ref.insert(k);
+  }
+  EXPECT_TRUE(t.merge(0));
+  EXPECT_EQ(t.shard_count(), 3);
+  EXPECT_EQ(t.reshard_count(), 2u);  // rebuild + merge
+  EXPECT_FALSE(t.resharding_in_flight());
+  expect_matches(t, ref);
+  // The rebuilt range really hosts the union: it can split again, and
+  // the whole table can collapse to one range.
+  EXPECT_TRUE(t.split(0));
+  expect_matches(t, ref);
+  while (t.shard_count() > 1) {
+    ASSERT_TRUE(t.merge(0));
+    expect_matches(t, ref);
+  }
+  EXPECT_EQ(t.range_bounds(0), (std::pair<Key, Key>{0, 4}));
+  // Updates keep flowing through the fully collapsed geometry.
+  t.insert(2);
+  ref.insert(2);
+  t.erase(1);
+  ref.erase(1);
+  expect_matches(t, ref);
 }
 
 TEST(Resharding, MergeRestoresGeometry) {
@@ -236,14 +267,18 @@ TEST(Resharding, LinearizableWithSplitMergeChurn) {
   // Mixed insert/erase/contains/pred/succ history checked round by round
   // while a background churner splits and re-merges the first range the
   // whole time — forced resharding concurrent with every checked window.
+  // A slice of whole-window validated scans rides along: an atomic scan
+  // observed while a migration is in flight must still linearize (no key
+  // reported twice across the src/dst union, no migrated key dropped).
   ShardedTrie t(16, 2);
   testutil::StressSpec spec;
   spec.universe = 16;
   spec.threads = 4;
   spec.ops_per_round = 12;
   spec.rounds = 40;
-  spec.pred_weight = 25;
-  spec.succ_weight = 25;
+  spec.pred_weight = 20;
+  spec.succ_weight = 20;
+  spec.scan_weight = 15;
   spec.contains_weight = 10;
   spec.seed = 99;
   std::atomic<uint64_t> churns{0};
