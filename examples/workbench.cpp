@@ -1,26 +1,39 @@
 // Workbench: run an ad-hoc workload against any shipped structure from
 // the command line.
 //
-//   workbench [--mem-stats] [structure] [threads] [ops_per_thread]
+//   workbench [--mem-stats] [--pin] [--batch <n>] [--rate <ops/s>]
+//             [structure] [threads] [ops_per_thread]
 //             [log2_universe] [insert%] [erase%] [contains%] [pred%]
 //             [zipf_theta] [shards] [succ%] [scan%] [scan_span]
 //
 //   --mem-stats: append the reclamation picture after the run — one row
 //                per pooled memory class (reclaim/mem_stats.hpp) with
 //                reserved bytes, live objects and the recycle rate.
+//   --pin:       pin worker t to the t-th CPU of the placement order
+//                (serve/pinning.hpp: distinct physical cores first).
+//   --batch <n>: run the SERVICE panel — ops flow through a per-thread
+//                BatchBuffer of capacity n (serve/batch.hpp) instead of
+//                direct calls. n == 1 is the direct baseline.
+//   --rate <r>:  offered load for the service panel, total ops/second
+//                across threads, Poisson arrivals (serve/open_loop.hpp).
+//                0 (the default) removes the rate cap: the generators run
+//                flat out and the panel reports batched-path saturation.
+//                --rate without --batch uses the default batch capacity.
 //
 //   structure: lockfree-trie | sharded-trie | bidi-trie | relaxed-trie |
 //              skiplist | harris | coarse | rwlock | cow | versioned
 //
 // The six percentages must sum to 100. Every structure here carries the
 // full traversal surface (succ%/scan%) — the core trie answers successor
-// natively, and bidi-trie is a retained alias for it.
+// natively, and bidi-trie is a retained alias for it. The service panel
+// converts range scans to predecessor queries (the batch facade is a
+// point-op front door).
 //
 // Examples:
 //   workbench lockfree-trie 8 100000 16 50 50 0 0
 //   workbench lockfree-trie 4 200000 16 20 20 0 0 0 0 30 30 64
 //   workbench sharded-trie 8 100000 20 50 50 0 0 0 16
-//   workbench sharded-trie 8 100000 20 10 10 0 0 0 8 40 40 128
+//   workbench --pin --batch 256 --rate 2000000 sharded-trie 8 100000 20 50 50 0 0
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,12 +48,16 @@
 #include "query/bidi_trie.hpp"
 #include "reclaim/mem_stats.hpp"
 #include "relaxed/relaxed_trie.hpp"
+#include "serve/open_loop.hpp"
 #include "shard/sharded_trie.hpp"
 #include "workload/harness.hpp"
 
 namespace {
 
 bool g_mem_stats = false;
+// Service-panel knobs; the panel runs when either is set.
+long g_batch = 0;
+double g_rate = 0.0;
 
 void print_mem_stats() {
   const lfbt::MemStats::Snapshot snap = lfbt::Stats::memory();
@@ -61,6 +78,47 @@ void print_mem_stats() {
               double(snap.total_reserved()) / 1024.0);
 }
 
+/// Service panel: open-loop Poisson traffic through the batched front
+/// door, reporting achieved rate and sojourn (queue wait + drain) tails.
+template <class Set>
+int run_service(const lfbt::BenchConfig& cfg, const char* name) {
+  lfbt::serve::OpenLoopConfig scfg;
+  scfg.rate_ops_s = g_rate;
+  scfg.threads = cfg.threads;
+  scfg.ops_per_thread = cfg.ops_per_thread;
+  scfg.batch = g_batch > 0 ? static_cast<std::size_t>(g_batch)
+                           : lfbt::serve::kDefaultBatch;
+  scfg.pin = cfg.pin;
+  lfbt::Stats::reset();
+  auto set = lfbt::make_set<Set>(cfg);
+  lfbt::prefill(*set, cfg);
+  const auto res = lfbt::serve::run_open_loop(*set, cfg, scfg);
+  std::printf("structure        : %s (service panel)\n", name);
+  std::printf("threads          : %d%s\n", scfg.threads,
+              scfg.pin ? " (pinned)" : "");
+  std::printf("batch capacity   : %zu%s\n", scfg.batch,
+              scfg.batch <= 1 ? " (direct baseline)" : "");
+  if (g_rate > 0) {
+    std::printf("offered rate     : %.3f Mops/s\n", res.offered_mops);
+  } else {
+    std::printf("offered rate     : uncapped (saturation)\n");
+  }
+  std::printf("achieved rate    : %.3f Mops/s\n", res.achieved_mops);
+  std::printf("total ops        : %lu\n",
+              static_cast<unsigned long>(res.total_ops));
+  std::printf("sojourn p50      : %.1f us\n", res.sojourn_pct(0.50) / 1e3);
+  std::printf("sojourn p95      : %.1f us\n", res.sojourn_pct(0.95) / 1e3);
+  std::printf("sojourn p99      : %.1f us\n", res.sojourn_pct(0.99) / 1e3);
+  if (res.batch_flushes > 0) {
+    std::printf("drains           : %lu (%.1f ops/drain, %.1f%% coalesced)\n",
+                static_cast<unsigned long>(res.batch_flushes),
+                double(res.total_ops) / double(res.batch_flushes),
+                100.0 * double(res.batch_coalesced) / double(res.total_ops));
+  }
+  if (g_mem_stats) print_mem_stats();
+  return 0;
+}
+
 template <class Set>
 int run(const lfbt::BenchConfig& cfg, const char* name) {
   if (cfg.mix.has_traversal() && !lfbt::TraversableOrderedSet<Set>) {
@@ -69,6 +127,7 @@ int run(const lfbt::BenchConfig& cfg, const char* name) {
                  name);
     return 2;
   }
+  if (g_batch > 0 || g_rate > 0) return run_service<Set>(cfg, name);
   lfbt::Stats::reset();
   auto res = lfbt::bench_fresh<Set>(cfg);
   std::printf("structure        : %s\n", name);
@@ -105,11 +164,18 @@ int run(const lfbt::BenchConfig& cfg, const char* name) {
 int main(int argc, char** argv) {
   using namespace lfbt;
   // Strip flags out of argv so the positional parse below stays simple;
-  // --mem-stats may appear anywhere.
+  // flags may appear anywhere.
+  bool pin = false;
   int n = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--mem-stats") == 0) {
       g_mem_stats = true;
+    } else if (std::strcmp(argv[i], "--pin") == 0) {
+      pin = true;
+    } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+      g_batch = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--rate") == 0 && i + 1 < argc) {
+      g_rate = std::atof(argv[++i]);
     } else {
       argv[n++] = argv[i];
     }
@@ -117,6 +183,7 @@ int main(int argc, char** argv) {
   argc = n;
   std::string structure = argc > 1 ? argv[1] : "lockfree-trie";
   BenchConfig cfg;
+  cfg.pin = pin;
   cfg.threads = argc > 2 ? std::atoi(argv[2]) : 4;
   cfg.ops_per_thread = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 100000;
   cfg.universe = Key{1} << (argc > 4 ? std::atoi(argv[4]) : 16);

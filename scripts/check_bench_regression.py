@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Gate CI on bench result JSON against checked-in floors.
+
+The self-checking benches (E13/E14/E16) already exit non-zero when their
+own gates fail; this script is the second, declarative layer: it re-reads
+the archived BENCH_*.json artifacts and checks them against
+scripts/bench_floors.json, so a floor can be tightened (or a new field
+gated) without touching C++, and so the gate runs against exactly the
+bytes CI archives.
+
+Floors schema (scripts/bench_floors.json):
+  {
+    "<artifact>.json": [
+      {
+        "where":   {"field": "value", ...},   # row filter, equality match
+        "require": [                           # all must hold on every match
+          {"field": "speedup", "min_field": "min_speedup"},  # cross-field
+          {"field": "achieved_mops", "min": 0.001},          # constant floor
+          {"field": "sojourn_p99_ns", "max_field": null, "gt": 0}
+        ],
+        "expect_rows": 1                       # optional: match-count check
+      }, ...
+    ]
+  }
+
+Supported require keys: "min" (constant), "max" (constant), "gt"
+(strictly greater than constant), and "min_field" (the row's own value
+of another field, e.g. speedup >= min_speedup — keeps host-degrade logic
+inside the bench, where the hardware is known, while CI still enforces
+that the bench's own floor was met).
+
+Exit status: 0 when every rule holds, 1 otherwise (missing artifact,
+missing field, or violated floor). Usage:
+  scripts/check_bench_regression.py [--floors scripts/bench_floors.json] [dir]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"bench-regression: FAIL: {msg}", file=sys.stderr)
+
+
+def match(row: dict, where: dict) -> bool:
+    return all(row.get(k) == v for k, v in where.items())
+
+
+def check_rule(artifact: str, rule: dict, rows: list) -> bool:
+    where = rule.get("where", {})
+    matched = [r for r in rows if match(r, where)]
+    ok = True
+    expect = rule.get("expect_rows")
+    if expect is not None and len(matched) != expect:
+        fail(f"{artifact}: where={where} matched {len(matched)} rows, "
+             f"expected {expect}")
+        ok = False
+    if not matched and expect is None:
+        fail(f"{artifact}: where={where} matched no rows")
+        return False
+    for row in matched:
+        for req in rule.get("require", []):
+            field = req["field"]
+            if field not in row:
+                fail(f"{artifact}: row {row} lacks field '{field}'")
+                ok = False
+                continue
+            val = row[field]
+            if "min" in req and val < req["min"]:
+                fail(f"{artifact}: {field}={val} below floor {req['min']} "
+                     f"(where={where})")
+                ok = False
+            if "max" in req and val > req["max"]:
+                fail(f"{artifact}: {field}={val} above cap {req['max']} "
+                     f"(where={where})")
+                ok = False
+            if "gt" in req and not val > req["gt"]:
+                fail(f"{artifact}: {field}={val} not > {req['gt']} "
+                     f"(where={where})")
+                ok = False
+            if "min_field" in req and req["min_field"] is not None:
+                other = req["min_field"]
+                if other not in row:
+                    fail(f"{artifact}: row {row} lacks floor field '{other}'")
+                    ok = False
+                elif val < row[other]:
+                    fail(f"{artifact}: {field}={val} below its own floor "
+                         f"{other}={row[other]} (where={where})")
+                    ok = False
+    return ok
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--floors", default=os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "bench_floors.json"))
+    ap.add_argument("dir", nargs="?", default=".",
+                    help="directory holding the BENCH_*.json artifacts")
+    args = ap.parse_args()
+
+    with open(args.floors, encoding="utf-8") as f:
+        floors = json.load(f)
+
+    ok = True
+    checked = 0
+    for artifact, rules in floors.items():
+        path = os.path.join(args.dir, artifact)
+        if not os.path.exists(path):
+            fail(f"{artifact} not found in {args.dir} (bench did not run?)")
+            ok = False
+            continue
+        with open(path, encoding="utf-8") as f:
+            rows = json.load(f)
+        if not isinstance(rows, list):
+            fail(f"{artifact}: expected a JSON array of rows")
+            ok = False
+            continue
+        for rule in rules:
+            checked += 1
+            ok = check_rule(artifact, rule, rows) and ok
+
+    if ok:
+        print(f"bench-regression: OK ({checked} rules)")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

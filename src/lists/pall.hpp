@@ -34,6 +34,7 @@
 
 #include "core/update_node.hpp"
 #include "reclaim/node_pool.hpp"
+#include "sync/cacheline.hpp"
 #include "sync/ebr.hpp"
 #include "sync/stats.hpp"
 
@@ -54,10 +55,10 @@ class PAll {
   /// Push `n` at the head (paper l.209: announcements go to the front).
   void push(PredecessorNode* n) {
     // The head word itself is never marked; only node hooks are.
-    uintptr_t h = head_.load();
+    uintptr_t h = head_.value.load();
     do {
       n->pall_next.store(h);
-    } while (!head_.compare_exchange_weak(h, pack(n)));
+    } while (!head_.value.compare_exchange_weak(h, pack(n)));
     Stats::count_cas(true);
   }
 
@@ -93,7 +94,7 @@ class PAll {
   /// First node in the list, including logically removed ones (raw chain
   /// traversal, as used for the paper's Q sequence).
   PredecessorNode* first_raw() const {
-    return strip(head_.load());
+    return strip(head_.value.load());
   }
 
   /// Raw successor in the chain (marked nodes included).
@@ -125,12 +126,12 @@ class PAll {
   void snip(PredecessorNode* target) {
     // Unlink from the head first if applicable.
     for (;;) {
-      uintptr_t h = head_.load();
+      uintptr_t h = head_.value.load();
       PredecessorNode* first = strip(h);
       if (first == nullptr) return;
       uintptr_t fw = first->pall_next.load();
       if (!marked(fw)) break;
-      if (head_.compare_exchange_strong(h, fw & ~kMark)) {
+      if (head_.value.compare_exchange_strong(h, fw & ~kMark)) {
         Stats::count_cas(true);
         if (first == target) return;
         continue;
@@ -152,7 +153,15 @@ class PAll {
     }
   }
 
-  std::atomic<uintptr_t> head_{0};
+  // False-sharing fix (E16 audit): every announce (push) and snip CASes
+  // this word, and PAll lives embedded inside the trie object next to
+  // whatever members the structure declares around it — unpadded, the
+  // head shared a line with the trie's root/limits words that every
+  // operation reads. One line for the head keeps announce-traffic
+  // invalidations off the read-mostly fields. Like the EBR announce
+  // split (sync/ebr.cpp), the 1-core dev container measures this within
+  // noise; the hazard is cross-core invalidation, which needs multicore.
+  PaddedAtomic<uintptr_t> head_{};
 };
 
 /// Insert-only notification list (paper SendNotification, l.156–161 —

@@ -1,0 +1,191 @@
+// Open-loop service driver (src/serve/): Poisson arrivals at a target
+// offered rate against either the batched front door or direct per-op
+// calls, reporting achieved throughput and SOJOURN latency — queue wait
+// plus drain — per op.
+//
+// Closed-loop harnesses (workload/harness.hpp) measure saturation
+// throughput: N threads issue the next op the moment the previous one
+// returns, so the system is never asked to hold a rate and latency is
+// pure service time. A serving stack is judged open-loop: requests
+// arrive on their own schedule whether or not the system keeps up, and
+// the published number is p99-vs-offered-load. Two consequences this
+// driver is careful about:
+//   * sojourn is measured from the SCHEDULED arrival time, not from
+//     submit — when the system falls behind, the generator itself lags,
+//     and timing from submit would hide exactly the queueing delay the
+//     benchmark exists to expose (coordinated omission);
+//   * offered load is split evenly across generator threads, each an
+//     independent Poisson stream (exponential inter-arrivals), so the
+//     superposition is a Poisson process at the configured rate.
+//
+// Batched mode runs each generator thread through its own BatchBuffer:
+// ops wait for a capacity drain or the linger valve, so sojourn prices
+// the batching latency cost honestly alongside its throughput benefit.
+// Direct mode (batch <= 1) applies ops inline — same generator, same
+// accounting — and is the baseline the E16 speedup floor compares
+// against.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "serve/batch.hpp"
+#include "serve/pinning.hpp"
+#include "sync/cacheline.hpp"
+#include "sync/random.hpp"
+#include "workload/harness.hpp"
+
+namespace lfbt::serve {
+
+struct OpenLoopConfig {
+  /// Total offered rate across all generator threads, ops/second.
+  double rate_ops_s = 1e6;
+  int threads = 4;
+  uint64_t ops_per_thread = 100000;
+  /// Batch capacity; <= 1 means direct per-op calls (the baseline).
+  std::size_t batch = kDefaultBatch;
+  /// Oldest-op wait that forces a drain below capacity (see
+  /// BatchBuffer::maybe_flush). Bounds sojourn at low offered rates.
+  std::chrono::microseconds max_linger{200};
+  bool pin = false;
+};
+
+struct OpenLoopResult {
+  double offered_mops = 0;
+  double achieved_mops = 0;
+  double elapsed_sec = 0;
+  uint64_t total_ops = 0;
+  uint64_t batch_flushes = 0;
+  uint64_t batch_coalesced = 0;
+  /// Sojourn (scheduled arrival -> result published), sorted ns.
+  std::vector<uint64_t> sojourn_ns;
+
+  uint64_t sojourn_pct(double p) const {
+    if (sojourn_ns.empty()) return 0;
+    auto idx = static_cast<std::size_t>(p * double(sojourn_ns.size() - 1));
+    return sojourn_ns[idx];
+  }
+  /// A panel is degenerate when it cannot support an SLO statement:
+  /// nothing completed, or the percentile curve collapsed to zero /
+  /// inverted (clock or accounting failure).
+  bool degenerate() const {
+    return total_ops == 0 || achieved_mops <= 0.0 || sojourn_ns.empty() ||
+           sojourn_pct(0.50) == 0 || sojourn_pct(0.99) < sojourn_pct(0.50);
+  }
+};
+
+/// Drives `cfg.rate_ops_s` of `mix`-shaped traffic at `set` and reports
+/// the sojourn distribution. Deterministic op content per (seed, thread);
+/// arrival times are wall-clock by construction.
+template <OrderedSet Set>
+OpenLoopResult run_open_loop(Set& set, const BenchConfig& bench_cfg,
+                             const OpenLoopConfig& cfg) {
+  using Clock = std::chrono::steady_clock;
+  const int threads = cfg.threads < 1 ? 1 : cfg.threads;
+  const double per_thread_rate = cfg.rate_ops_s / double(threads);
+  // ns per arrival, scaled into the exponential draw below.
+  const double mean_gap_ns = per_thread_rate > 0 ? 1e9 / per_thread_rate : 0;
+
+  std::vector<Padded<std::vector<uint64_t>>> sojourn(threads);
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<uint64_t> sink{0};
+  const StepCounts before = Stats::aggregate();
+  std::vector<std::thread> workers;
+
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      if (cfg.pin) pin_self(t);
+      auto dist = make_distribution(bench_cfg);
+      OpStream stream(bench_cfg.mix, *dist,
+                      bench_cfg.seed + 1000003ull * (t + 1),
+                      bench_cfg.scan_span, bench_cfg.scan_limit);
+      Xoshiro256 gaps(bench_cfg.seed ^ (0x5eedull + t));
+      BatchBuffer<Set> buf(set, cfg.batch <= 1 ? 1 : cfg.batch);
+      // Scheduled arrivals of the ops currently buffered, oldest first.
+      std::vector<Clock::time_point> pending_arrivals;
+      pending_arrivals.reserve(buf.capacity());
+      sojourn[t]->reserve(cfg.ops_per_thread);
+      const bool direct = cfg.batch <= 1;
+
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+
+      auto record_drained = [&](Clock::time_point done) {
+        for (Clock::time_point a : pending_arrivals) {
+          sojourn[t]->push_back(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(done - a)
+                  .count()));
+        }
+        pending_arrivals.clear();
+      };
+
+      const Clock::time_point t0 = Clock::now();
+      double next_ns = 0;
+      uint64_t local_sink = 0;
+      for (uint64_t i = 0; i < cfg.ops_per_thread; ++i) {
+        // Exponential inter-arrival; u in (0, 1].
+        const double u =
+            (double(gaps.next() >> 11) + 1.0) * 0x1.0p-53;
+        next_ns += mean_gap_ns * -std::log(u);
+        const Clock::time_point sched =
+            t0 + std::chrono::nanoseconds(static_cast<int64_t>(next_ns));
+        // Wait for the scheduled arrival; the linger valve may drain the
+        // buffer while we wait so queued ops aren't held hostage by a
+        // long gap in the arrival process.
+        for (;;) {
+          const Clock::time_point now = Clock::now();
+          if (now >= sched) break;
+          if (!direct && buf.maybe_flush(cfg.max_linger, now)) {
+            record_drained(Clock::now());
+          }
+          std::this_thread::yield();
+        }
+        Op op = stream.next();
+        if (op.kind == OpKind::kRangeScan) op.kind = OpKind::kPredecessor;
+        if (direct) {
+          local_sink += apply_op(set, op);
+          sojourn[t]->push_back(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  Clock::now() - sched)
+                  .count()));
+        } else {
+          pending_arrivals.push_back(sched);
+          buf.submit(op);
+          if (buf.pending() == 0) record_drained(Clock::now());
+        }
+      }
+      if (!direct && buf.pending() > 0) {
+        buf.flush();
+        record_drained(Clock::now());
+      }
+      sink.fetch_add(local_sink);
+    });
+  }
+
+  while (ready.load() != threads) std::this_thread::yield();
+  const auto start = Clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  const auto end = Clock::now();
+
+  OpenLoopResult res;
+  res.total_ops = cfg.ops_per_thread * static_cast<uint64_t>(threads);
+  res.elapsed_sec = std::chrono::duration<double>(end - start).count();
+  res.offered_mops = cfg.rate_ops_s / 1e6;
+  res.achieved_mops = double(res.total_ops) / res.elapsed_sec / 1e6;
+  const StepCounts delta = Stats::aggregate() - before;
+  res.batch_flushes = delta.batch_flushes;
+  res.batch_coalesced = delta.batch_coalesced;
+  for (auto& v : sojourn) {
+    res.sojourn_ns.insert(res.sojourn_ns.end(), v->begin(), v->end());
+  }
+  std::sort(res.sojourn_ns.begin(), res.sojourn_ns.end());
+  if (sink.load() == 0xdeadbeef) std::fprintf(stderr, "sink\n");  // keep work
+  return res;
+}
+
+}  // namespace lfbt::serve

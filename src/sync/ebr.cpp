@@ -6,7 +6,9 @@
 namespace lfbt::ebr {
 namespace {
 
-constexpr uint64_t kIdle = ~0ull;
+// Announce word: 0 = outside any guard. The global epoch starts at 1 and
+// only grows, so 0 never collides with a real epoch.
+constexpr uint64_t kIdle = 0;
 constexpr int kCollectEvery = 64;
 
 struct Retired {
@@ -15,12 +17,26 @@ struct Retired {
   uint64_t epoch;
 };
 
-struct alignas(kCacheLine) ThreadState {
-  std::atomic<uint64_t> local_epoch{kIdle};  // kIdle when outside guards
-  int nesting = 0;                           // owner-thread only
-  int since_collect = 0;                     // owner-thread only
-  bool sweeping = false;                     // owner-thread only
-  std::vector<Retired> limbo;                // owner-thread only
+// False-sharing fix (E16 audit): the per-thread announce word is read by
+// every thread that retires (min_announced scans all slots), but it used
+// to share its cache line with the owner's limbo vector — so every
+// owner-side retire (a push_back mutating the vector's size field)
+// invalidated the line under all concurrent scanners, and every guard
+// enter/exit invalidated the owner's own limbo line. Announce words now
+// live in their own PaddedAtomic array (one line each, and a dense
+// read-only-to-scanners region for the min_announced sweep); the
+// owner-only state below keeps its line padding so two owners' limbo
+// vectors never share a line either. E16 on the 1-core dev container
+// measures this within noise (no cross-core invalidation traffic exists
+// there, 8-thread update-heavy delta +1%); the structural hazard —
+// O(threads) invalidations per retire — only exists on multicore hosts.
+PaddedAtomic<uint64_t> g_announce[kMaxThreads];  // zero-init == kIdle
+
+struct alignas(kCacheLine) ThreadState {  // owner-thread only
+  int nesting = 0;
+  int since_collect = 0;
+  bool sweeping = false;
+  std::vector<Retired> limbo;
 };
 
 std::atomic<uint64_t> g_epoch{1};
@@ -35,7 +51,7 @@ uint64_t min_announced() {
   uint64_t min = g_epoch.load(std::memory_order_acquire);
   const int n = ThreadRegistry::high_water();
   for (int i = 0; i < n; ++i) {
-    uint64_t e = g_threads[i].local_epoch.load(std::memory_order_acquire);
+    uint64_t e = g_announce[i].value.load(std::memory_order_acquire);
     if (e != kIdle && e < min) min = e;
   }
   return min;
@@ -82,18 +98,18 @@ void sweep(ThreadState& ts) {
 }  // namespace
 
 Guard::Guard() {
-  ThreadState& ts = self();
-  if (ts.nesting++ == 0) {
+  const int id = ThreadRegistry::id();
+  if (g_threads[id].nesting++ == 0) {
     // seq_cst publish so retiring threads cannot miss us.
-    ts.local_epoch.store(g_epoch.load(std::memory_order_acquire),
-                         std::memory_order_seq_cst);
+    g_announce[id].value.store(g_epoch.load(std::memory_order_acquire),
+                               std::memory_order_seq_cst);
   }
 }
 
 Guard::~Guard() {
-  ThreadState& ts = self();
-  if (--ts.nesting == 0) {
-    ts.local_epoch.store(kIdle, std::memory_order_release);
+  const int id = ThreadRegistry::id();
+  if (--g_threads[id].nesting == 0) {
+    g_announce[id].value.store(kIdle, std::memory_order_release);
   }
 }
 

@@ -13,6 +13,11 @@
 // trie's update nodes and cells still use the per-structure arena
 // instead (see README.md) because the paper's algorithm keeps long-lived
 // references to logically retired nodes.
+//
+// Layout note (E16 false-sharing audit): per-thread announce words are a
+// PaddedAtomic array separate from the owner-only limbo state — see the
+// comment on g_announce in ebr.cpp for the measured delta and the
+// structural argument.
 #pragma once
 
 #include <atomic>

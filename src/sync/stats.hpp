@@ -61,6 +61,14 @@ struct StepCounts {
   uint64_t query_helpers = 0;
   uint64_t fused_queries = 0;
   uint64_t query_node_allocs = 0;
+  // Service-facade accounting (E16 / serve/batch.hpp): drains executed,
+  // ops drained through them, and ops the coalescing pass retired
+  // without touching the structure (same-key updates superseded within a
+  // query-free segment). coalesced/ops is the announcement-traffic
+  // saving the batched front door buys.
+  uint64_t batch_flushes = 0;
+  uint64_t batch_ops = 0;
+  uint64_t batch_coalesced = 0;
 
   StepCounts& operator+=(const StepCounts& o) noexcept {
     reads += o.reads;
@@ -77,6 +85,9 @@ struct StepCounts {
     query_helpers += o.query_helpers;
     fused_queries += o.fused_queries;
     query_node_allocs += o.query_node_allocs;
+    batch_flushes += o.batch_flushes;
+    batch_ops += o.batch_ops;
+    batch_coalesced += o.batch_coalesced;
     return *this;
   }
   StepCounts operator-(const StepCounts& o) const noexcept {
@@ -95,6 +106,9 @@ struct StepCounts {
     r.query_helpers -= o.query_helpers;
     r.fused_queries -= o.fused_queries;
     r.query_node_allocs -= o.query_node_allocs;
+    r.batch_flushes -= o.batch_flushes;
+    r.batch_ops -= o.batch_ops;
+    r.batch_coalesced -= o.batch_coalesced;
     return r;
   }
   uint64_t total() const noexcept {
@@ -138,6 +152,12 @@ class Stats {
     if (fused) ++s.fused_queries;
   }
   static void count_query_node_alloc() { ++local().query_node_allocs; }
+  static void count_batch_flush(uint64_t ops, uint64_t coalesced) {
+    auto& s = local();
+    ++s.batch_flushes;
+    s.batch_ops += ops;
+    s.batch_coalesced += coalesced;
+  }
 
   /// Sum over all thread slots. Safe to call while threads run (values are
   /// monotone; the result is a consistent-enough snapshot for reporting).
@@ -172,6 +192,7 @@ class Stats {
   static void count_scan_fallback() {}
   static void count_query_helper(bool) {}
   static void count_query_node_alloc() {}
+  static void count_batch_flush(uint64_t, uint64_t) {}
   static StepCounts aggregate() { return StepCounts{}; }
   static void reset() {}
 #endif

@@ -14,7 +14,9 @@
 #include <thread>
 #include <vector>
 
+#include "serve/pinning.hpp"
 #include "shard/ordered_set.hpp"
+#include "sync/cacheline.hpp"
 #include "sync/stats.hpp"
 #include "workload/workload.hpp"
 
@@ -45,6 +47,10 @@ struct BenchConfig {
   // ShardedTrie). 0 keeps the structure's default; ignored by
   // non-sharded structures.
   int shards = 0;
+  // Pin worker t to the t-th CPU of the placement order (serve/pinning.hpp:
+  // distinct physical cores first). Best effort: if the platform refuses,
+  // the worker runs unpinned.
+  bool pin = false;
 };
 
 struct BenchResult {
@@ -122,13 +128,17 @@ BenchResult run_bench(Set& set, const BenchConfig& cfg) {
   std::atomic<int> ready{0};
   std::atomic<bool> go{false};
   std::vector<std::thread> workers;
-  std::vector<std::vector<uint64_t>> lat(cfg.threads);
+  // Padded (E16 false-sharing audit): adjacent std::vector headers are 24
+  // bytes, so up to three workers' size/capacity fields — mutated on every
+  // sampled push_back — shared one line and bounced it between samplers.
+  std::vector<Padded<std::vector<uint64_t>>> lat(cfg.threads);
   std::atomic<uint64_t> sink{0};
 
   const StepCounts steps_before = Stats::aggregate();
 
   for (int t = 0; t < cfg.threads; ++t) {
     workers.emplace_back([&, t] {
+      if (cfg.pin) serve::pin_self(t);
       auto dist = make_distribution(cfg);
       OpStream stream(cfg.mix, *dist, cfg.seed + 1000003ull * (t + 1),
                       cfg.scan_span, cfg.scan_limit);
@@ -136,14 +146,14 @@ BenchResult run_bench(Set& set, const BenchConfig& cfg) {
       while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
       uint64_t local_sink = 0;
       if (cfg.sample_latency) {
-        lat[t].reserve(cfg.ops_per_thread / cfg.latency_sample_every + 1);
+        lat[t]->reserve(cfg.ops_per_thread / cfg.latency_sample_every + 1);
         for (uint64_t i = 0; i < cfg.ops_per_thread; ++i) {
           Op op = stream.next();
           if (i % cfg.latency_sample_every == 0) {
             auto t0 = std::chrono::steady_clock::now();
             local_sink += apply_op(set, op);
             auto t1 = std::chrono::steady_clock::now();
-            lat[t].push_back(static_cast<uint64_t>(
+            lat[t]->push_back(static_cast<uint64_t>(
                 std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
                     .count()));
           } else {
@@ -171,7 +181,7 @@ BenchResult run_bench(Set& set, const BenchConfig& cfg) {
   res.mops_per_sec = double(res.total_ops) / res.elapsed_sec / 1e6;
   res.steps = Stats::aggregate() - steps_before;
   for (auto& v : lat) {
-    res.latencies_ns.insert(res.latencies_ns.end(), v.begin(), v.end());
+    res.latencies_ns.insert(res.latencies_ns.end(), v->begin(), v->end());
   }
   std::sort(res.latencies_ns.begin(), res.latencies_ns.end());
   if (sink.load() == 0xdeadbeef) std::fprintf(stderr, "sink\n");  // keep work
