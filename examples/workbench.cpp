@@ -21,7 +21,15 @@
 //                --rate without --batch uses the default batch capacity.
 //
 //   structure: lockfree-trie | sharded-trie | bidi-trie | relaxed-trie |
-//              skiplist | harris | coarse | rwlock | cow | versioned
+//              skiplist | harris | coarse | rwlock | cow | versioned |
+//              compressed | enc-u64-trie | enc-u64-compressed | enc-str-trie
+//
+// The enc-* structures run the workload through the key-encoding layer
+// (src/keys/): every op converts its dense key to a typed key
+// (uint64_t or std::string), encodes it back through KeyCodec, and
+// drives the named inner structure — the full codec round trip under
+// whatever mix you dial in. `compressed` is the raw path-compressed
+// trie (keys/compressed_trie.hpp).
 //
 // The six percentages must sum to 100. Every structure here carries the
 // full traversal surface (succ%/scan%) — the core trie answers successor
@@ -45,6 +53,8 @@
 #include "baselines/locked_trie.hpp"
 #include "baselines/versioned_trie.hpp"
 #include "core/lockfree_trie.hpp"
+#include "keys/compressed_trie.hpp"
+#include "keys/encoded_set.hpp"
 #include "query/bidi_trie.hpp"
 #include "reclaim/mem_stats.hpp"
 #include "relaxed/relaxed_trie.hpp"
@@ -212,10 +222,24 @@ int main(int argc, char** argv) {
   if (structure == "rwlock") return run<RwLockTrie>(cfg, "rwlock");
   if (structure == "cow") return run<CowUniversalSet>(cfg, "cow");
   if (structure == "versioned") return run<VersionedTrie>(cfg, "versioned");
+  if (structure == "compressed") return run<CompressedBitTrie>(cfg, "compressed");
+  if (structure == "enc-u64-trie") {
+    return run<keys::KeyspaceView<uint64_t, LockFreeBinaryTrie>>(
+        cfg, "enc-u64-trie");
+  }
+  if (structure == "enc-u64-compressed") {
+    return run<keys::KeyspaceView<uint64_t, CompressedBitTrie>>(
+        cfg, "enc-u64-compressed");
+  }
+  if (structure == "enc-str-trie") {
+    return run<keys::KeyspaceView<std::string, LockFreeBinaryTrie>>(
+        cfg, "enc-str-trie");
+  }
   std::fprintf(stderr,
                "unknown structure '%s' (try: lockfree-trie sharded-trie "
                "bidi-trie relaxed-trie skiplist harris coarse rwlock cow "
-               "versioned)\n",
+               "versioned compressed enc-u64-trie enc-u64-compressed "
+               "enc-str-trie)\n",
                structure.c_str());
   return 2;
 }

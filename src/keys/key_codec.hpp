@@ -1,0 +1,245 @@
+// KeyCodec: order-preserving encodings from real key types into the
+// trie's bit-string universe — the front door that turns the paper's
+// fixed-universe structure into `OrderedSet<uint64_t>`,
+// `OrderedSet<int64_t>`, `OrderedSet<std::string>` and friends.
+//
+// The contract, for every specialization and every width W in
+// [1, kMaxEncodedWidth] it supports:
+//
+//   * encode(k, W) is an injection from the W-bit domain of K into
+//     [0, 2^W) that preserves order BITWISE: for in-domain a, b,
+//         a < b  (in K's natural order)  ⟺  encode(a) < encode(b)
+//     as unsigned integers — equivalently, as MSB-first bit strings,
+//     which is exactly the order the binary trie realises;
+//   * decode(encode(k, W), W) == k (decode ∘ encode = id on the domain);
+//   * in_domain(k, W) says whether k is representable at width W.
+//
+// The trie consumes keys as MSB-first bit paths, so the encoded
+// *integer* already plays the role of TKTRIE2-style big-endian byte
+// strings: its sign-flip + byteswap pipeline produces bytes whose
+// memcmp order equals key order; our encode produces an integer whose
+// numeric order equals key order, and the byteswap becomes the identity
+// because no byte array is ever materialised.
+//
+// Width model. Fixed-width integer codecs advertise a compile-time
+// kEncodedWidth (their natural width, capped at kMaxEncodedWidth) and
+// additionally support any narrower runtime width — the adapter layer
+// (keys/encoded_set.hpp) narrows to the width of the inner structure's
+// universe, so the same codec serves a 2^20-universe dense trie in a
+// test and a 2^62-universe compressed trie in production. 64-bit key
+// types are capped at 62 bits: the repository-wide `Key` is a signed
+// 64-bit with reserved negative sentinels (core/types.hpp) and the
+// universe itself must be representable as a Key, so 2^62 is the
+// largest key space the machinery below can host. The two lost bits
+// are documented per-codec (docs/API.md, "Key types").
+#pragma once
+
+#include <cassert>
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <type_traits>
+
+#include "core/types.hpp"
+
+namespace lfbt::keys {
+
+/// Encoded form: an unsigned value whose low `width` bits are the
+/// MSB-first bit string the trie navigates. Always < 2^62, so it
+/// round-trips through the signed repository Key losslessly.
+using Encoded = uint64_t;
+
+/// Hard cap on encoding width: Key is int64_t with negative sentinels
+/// and the universe (2^width) must itself fit in a Key.
+inline constexpr uint32_t kMaxEncodedWidth = 62;
+
+template <class K>
+struct KeyCodec;  // primary template deliberately undefined
+
+// ---------------------------------------------------------------------
+// Integers: sign-flip to a sortable unsigned, then (conceptually)
+// byteswap to big-endian — realised here as "the encoded integer IS the
+// MSB-first bit string". A signed value at width W maps via
+// x + 2^(W-1); an unsigned value maps via the identity. Both are
+// strictly monotone, so bitwise order == numeric order on the nose.
+// ---------------------------------------------------------------------
+template <std::integral T>
+  requires(!std::same_as<T, bool> && !std::same_as<T, char>)
+struct KeyCodec<T> {
+  using Unsigned = std::make_unsigned_t<T>;
+  static constexpr bool kFixedWidth = true;
+  /// Natural width of T, capped by the Key representation (64-bit key
+  /// types lose their top two values' bits — see the header comment).
+  static constexpr uint32_t kEncodedWidth =
+      sizeof(T) * 8 <= kMaxEncodedWidth
+          ? static_cast<uint32_t>(sizeof(T) * 8)
+          : kMaxEncodedWidth;
+
+  /// Signed domain at width W: [-2^(W-1), 2^(W-1)); unsigned: [0, 2^W).
+  static bool in_domain(T k, uint32_t width) noexcept {
+    assert(width >= 1 && width <= kMaxEncodedWidth);
+    if constexpr (std::is_signed_v<T>) {
+      const int64_t half = int64_t{1} << (width - 1);
+      return static_cast<int64_t>(k) >= -half &&
+             static_cast<int64_t>(k) < half;
+    } else {
+      return width >= sizeof(T) * 8 ||
+             (static_cast<Encoded>(k) >> width) == 0;
+    }
+  }
+
+  static Encoded encode(T k, uint32_t width) noexcept {
+    assert(in_domain(k, width));
+    if constexpr (std::is_signed_v<T>) {
+      // Sign flip at width W: add the bias so order is preserved and
+      // the result occupies exactly W bits.
+      return static_cast<Encoded>(static_cast<int64_t>(k) +
+                                  (int64_t{1} << (width - 1)));
+    } else {
+      (void)width;
+      return static_cast<Encoded>(k);
+    }
+  }
+
+  static T decode(Encoded e, uint32_t width) noexcept {
+    assert(width >= 1 && width <= kMaxEncodedWidth && (e >> width) == 0);
+    if constexpr (std::is_signed_v<T>) {
+      return static_cast<T>(static_cast<int64_t>(e) -
+                            (int64_t{1} << (width - 1)));
+    } else {
+      (void)width;
+      return static_cast<T>(e);
+    }
+  }
+
+  // --- Ordinal bridge (keys/encoded_set.hpp::KeyspaceView) -----------
+  // A monotone bijection between the harness's dense ordinal space
+  // [0, u) and a slice of K's domain, so every existing Key-typed
+  // torture layer can drive a typed set. For integers the encoded value
+  // itself is the ordinal: from_ordinal = decode, to_ordinal = encode —
+  // which routes every harness op through the full codec round trip.
+  static Key inner_universe_for(Key view_universe) noexcept {
+    return view_universe;
+  }
+  static T from_ordinal(Key k, uint32_t width) noexcept {
+    assert(k >= 0);
+    return decode(static_cast<Encoded>(k), width);
+  }
+  static Key to_ordinal(const T& k, uint32_t width) noexcept {
+    return static_cast<Key>(encode(k, width));
+  }
+};
+
+// ---------------------------------------------------------------------
+// Strings: raw bytes with length-aware ordering. Each byte c becomes a
+// 9-bit group (1, c7..c0); the encoding is the concatenation of groups,
+// zero-padded on the right to the full width. The leading 1 marker is
+// what makes the order length-aware WITHOUT a terminator byte:
+//
+//   * two strings diverging at byte i compare by that byte's group —
+//     markers are equal, so the 8 data bits decide, preserving
+//     byte-wise (lexicographic) order;
+//   * a proper prefix p of s runs out of groups first; at that position
+//     p's encoding has a 0 (padding) where s has a 1 (marker), so
+//     encode(p) < encode(s) — exactly lexicographic "shorter prefix
+//     sorts first". No byte value is sacrificed as a terminator: keys
+//     may contain 0x00.
+//
+// Injectivity: decoding reads 9-bit groups while the marker bit is 1
+// and stops at the first 0, which can only be padding — unambiguous.
+//
+// Width caveat (documented in docs/API.md): a W-bit universe holds
+// strings of at most W/9 bytes — 6 bytes at the 62-bit maximum. The
+// fixed-universe trie pays 2^(9L) universe for length-L strings, which
+// is the honest cost of order-preserving string keys on this structure;
+// short identifiers (tickers, currency pairs, tags) fit, documents do
+// not.
+// ---------------------------------------------------------------------
+template <>
+struct KeyCodec<std::string> {
+  static constexpr bool kFixedWidth = false;
+  static constexpr uint32_t kBitsPerByte = 9;  // marker + 8 data bits
+
+  static constexpr uint32_t max_len(uint32_t width) noexcept {
+    return width / kBitsPerByte;
+  }
+
+  static bool in_domain(const std::string& s, uint32_t width) noexcept {
+    return s.size() <= max_len(width);
+  }
+
+  static Encoded encode(const std::string& s, uint32_t width) noexcept {
+    assert(in_domain(s, width));
+    Encoded e = 0;
+    for (unsigned char c : s) {
+      e = (e << kBitsPerByte) | Encoded{0x100} | static_cast<Encoded>(c);
+    }
+    return e << (width - kBitsPerByte * static_cast<uint32_t>(s.size()));
+  }
+
+  static std::string decode(Encoded e, uint32_t width) {
+    std::string s;
+    uint32_t pos = width;  // bits [0, pos) still undecoded, MSB-first
+    while (pos >= kBitsPerByte && ((e >> (pos - 1)) & 1) != 0) {
+      s.push_back(static_cast<char>((e >> (pos - kBitsPerByte)) & 0xFF));
+      pos -= kBitsPerByte;
+    }
+    assert(pos == 0 || (e & ((Encoded{1} << pos) - 1)) == 0);
+    return s;
+  }
+
+  // --- Ordinal bridge ------------------------------------------------
+  // Ordinal k maps to the fixed-length big-endian byte string of k
+  // (L = bytes needed for the view universe). Fixed-length strings
+  // compare lexicographically exactly like their big-endian values, so
+  // the map is monotone; the inner universe must then budget 9 bits per
+  // byte, hence 2^(9L).
+  static uint32_t ordinal_bytes(Key view_universe) noexcept {
+    uint32_t bits = 1;
+    while ((Key{1} << bits) < view_universe && bits < 56) ++bits;
+    return (bits + 7) / 8;
+  }
+  static Key inner_universe_for(Key view_universe) noexcept {
+    return Key{1} << (kBitsPerByte * ordinal_bytes(view_universe));
+  }
+  static std::string from_ordinal(Key k, uint32_t width) {
+    assert(k >= 0);
+    const uint32_t len = width / kBitsPerByte;
+    char buf[8] = {};  // len <= 62/9 = 6
+    for (uint32_t i = 0; i < len; ++i) {
+      buf[len - 1 - i] = static_cast<char>((static_cast<Encoded>(k) >> (8 * i)) &
+                                           0xFF);
+    }
+    return std::string(buf, len);
+  }
+  static Key to_ordinal(const std::string& s, uint32_t width) noexcept {
+    assert(s.size() == width / kBitsPerByte);
+    (void)width;  // assert-only in NDEBUG builds
+    Encoded v = 0;
+    for (unsigned char c : s) v = (v << 8) | c;
+    return static_cast<Key>(v);
+  }
+};
+
+/// The concept the adapter layer (keys/encoded_set.hpp) is written
+/// against: everything a KeyCodec specialization must provide.
+template <class K>
+concept EncodableKey = requires(const K k, Encoded e, uint32_t w, Key ord) {
+  { KeyCodec<K>::in_domain(k, w) } -> std::convertible_to<bool>;
+  { KeyCodec<K>::encode(k, w) } -> std::same_as<Encoded>;
+  { KeyCodec<K>::decode(e, w) } -> std::same_as<K>;
+  { KeyCodec<K>::inner_universe_for(ord) } -> std::same_as<Key>;
+  { KeyCodec<K>::from_ordinal(ord, w) } -> std::same_as<K>;
+  { KeyCodec<K>::to_ordinal(k, w) } -> std::same_as<Key>;
+};
+
+static_assert(EncodableKey<uint64_t>);
+static_assert(EncodableKey<int64_t>);
+static_assert(EncodableKey<uint32_t>);
+static_assert(EncodableKey<int32_t>);
+static_assert(EncodableKey<uint16_t>);
+static_assert(EncodableKey<std::string>);
+
+}  // namespace lfbt::keys

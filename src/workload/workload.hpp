@@ -50,12 +50,25 @@ struct OpMix {
   /// Stable short name; the traversal fields appear only when nonzero so
   /// every pre-existing mix keeps its historical name (and JSON key).
   std::string name() const {
-    std::string n = "i" + std::to_string(insert_pct) + "/d" +
-                    std::to_string(erase_pct) + "/s" +
-                    std::to_string(contains_pct) + "/p" +
-                    std::to_string(predecessor_pct);
-    if (successor_pct > 0) n += "/S" + std::to_string(successor_pct);
-    if (range_pct > 0) n += "/r" + std::to_string(range_pct);
+    // Built with append (not operator+ chains): GCC 12's -Wrestrict
+    // false-positives on temporary-string operator+ under heavy
+    // inlining (PR105329-adjacent); append compiles clean everywhere.
+    std::string n = "i";
+    n += std::to_string(insert_pct);
+    n += "/d";
+    n += std::to_string(erase_pct);
+    n += "/s";
+    n += std::to_string(contains_pct);
+    n += "/p";
+    n += std::to_string(predecessor_pct);
+    if (successor_pct > 0) {
+      n += "/S";
+      n += std::to_string(successor_pct);
+    }
+    if (range_pct > 0) {
+      n += "/r";
+      n += std::to_string(range_pct);
+    }
     return n;
   }
 };
